@@ -1,0 +1,233 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 9–16): it builds the scenario, trains the SVM and the RL
+// dispatcher, runs MobiRescue and both baselines over the evaluation
+// day, and prints every figure's series.
+//
+// Usage:
+//
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mobirescue/internal/core"
+	"mobirescue/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale    = flag.String("scale", "mid", "scenario scale: small, mid, or full")
+		episodes = flag.Int("episodes", 0, "RL training episodes (0 = config default)")
+		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests, like the paper)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		fig      = flag.String("fig", "all", "which figure to print: all, 9..16, latency")
+	)
+	flag.Parse()
+
+	sc, sys, err := buildSystem(*scale, *seed, *teams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# scenario: %d people, %d landmarks, %d segments, %d teams\n",
+		len(sc.Eval.Data.People), sc.City.Graph.NumLandmarks(), sc.City.Graph.NumSegments(), sys.Teams)
+	fmt.Printf("# eval day %d (peak), %d ground-truth requests\n",
+		sc.Eval.PeakRequestDay(), len(core.RequestsForDay(sc.Eval, sc.Eval.PeakRequestDay())))
+
+	start := time.Now()
+	returns, err := sys.TrainRL(*episodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# trained RL for %d episodes in %v (timely served per episode: %v)\n",
+		len(returns), time.Since(start).Round(time.Second), returns)
+
+	cmp, err := sys.RunComparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("9") {
+		printHourlyInt("Figure 9: timely served rescue requests per hour", cmp.Fig9())
+	}
+	if want("10") {
+		printCDFs("Figure 10: CDF of timely served requests per team", cmp.Fig10(), "requests")
+	}
+	if want("11") {
+		printHourlyFloat("Figure 11: mean driving delay per hour (s)", cmp.Fig11())
+	}
+	if want("12") {
+		printCDFs("Figure 12: CDF of driving delays (s)", cmp.Fig12(), "seconds")
+	}
+	if want("13") {
+		printCDFs("Figure 13: CDF of rescue timeliness (s)", cmp.Fig13(), "seconds")
+	}
+	if want("14") {
+		printHourlyFloat("Figure 14: serving rescue teams per hour", cmp.Fig14())
+	}
+	if want("15") || want("16") {
+		pq, err := sys.PredictionQuality()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("15") {
+			printCDFs("Figure 15: CDF of per-segment prediction accuracy", map[string]*stats.CDF{
+				"MobiRescue(SVM)": pq.SVMAccuracy,
+				"Rescue(TSA)":     pq.TSAAccuracy,
+			}, "accuracy")
+			fmt.Printf("overall accuracy: SVM %.3f vs TSA %.3f\n\n",
+				pq.SVMOverall.Accuracy(), pq.TSAOverall.Accuracy())
+		}
+		if want("16") {
+			printCDFs("Figure 16: CDF of per-segment prediction precision", map[string]*stats.CDF{
+				"MobiRescue(SVM)": pq.SVMPrecision,
+				"Rescue(TSA)":     pq.TSAPrecision,
+			}, "precision")
+			fmt.Printf("overall precision: SVM %.3f vs TSA %.3f\n\n",
+				pq.SVMOverall.Precision(), pq.TSAOverall.Precision())
+		}
+	}
+	if want("latency") || *fig == "all" {
+		fmt.Println("Dispatch computation delay (Section V-C3):")
+		for _, name := range core.MethodNames {
+			fmt.Printf("  %-11s %v per round\n", name, cmp.Results[name].MeanComputeDelay().Round(100*time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Summary (evaluation day):")
+	fmt.Printf("  %-11s %8s %8s %14s %14s %12s\n", "method", "served", "timely", "medDelay(s)", "medTimeli(s)", "meanServing")
+	for _, name := range core.MethodNames {
+		res := cmp.Results[name]
+		delays := stats.NewCDF(res.DrivingDelaysSeconds())
+		timeli := stats.NewCDF(res.TimelinessSeconds())
+		medD, _ := delays.Quantile(0.5)
+		medT, _ := timeli.Quantile(0.5)
+		meanServing := 0.0
+		for _, r := range res.Rounds {
+			meanServing += float64(r.Serving)
+		}
+		meanServing /= float64(len(res.Rounds))
+		fmt.Printf("  %-11s %8d %8d %14.0f %14.0f %12.1f\n",
+			name, res.TotalServed(), res.TotalTimelyServed(), medD, medT, meanServing)
+	}
+}
+
+// buildSystem constructs scenario and system at the requested scale.
+func buildSystem(scale string, seed int64, teams int) (*core.Scenario, *core.System, error) {
+	var scCfg core.ScenarioConfig
+	switch scale {
+	case "small":
+		scCfg = core.SmallScenarioConfig()
+	case "mid":
+		scCfg = core.SmallScenarioConfig()
+		scCfg.City.GridRows, scCfg.City.GridCols = 6, 6
+		scCfg.People = 2000
+	case "full":
+		scCfg = core.DefaultScenarioConfig()
+	default:
+		return nil, nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	scCfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "building %s scenario (seed %d)...\n", scale, seed)
+	sc, err := core.BuildScenario(scCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sysCfg := core.DefaultSystemConfig()
+	sysCfg.Seed = seed
+	sysCfg.Teams = teams
+	sys, err := core.NewSystem(sc, sysCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, sys, nil
+}
+
+func sortedNames(m map[string][]int, mf map[string][]float64, mc map[string]*stats.CDF) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	for n := range mf {
+		names = append(names, n)
+	}
+	for n := range mc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func printHourlyInt(title string, series map[string][]int) {
+	fmt.Println(title)
+	names := sortedNames(series, nil, nil)
+	fmt.Printf("  hour %s\n", strings.Join(names, " "))
+	hours := 0
+	for _, s := range series {
+		if len(s) > hours {
+			hours = len(s)
+		}
+	}
+	for h := 0; h < hours; h++ {
+		fmt.Printf("  %4d", h)
+		for _, n := range names {
+			fmt.Printf(" %*d", len(n), series[n][h])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func printHourlyFloat(title string, series map[string][]float64) {
+	fmt.Println(title)
+	names := sortedNames(nil, series, nil)
+	fmt.Printf("  hour %s\n", strings.Join(names, " "))
+	hours := 0
+	for _, s := range series {
+		if len(s) > hours {
+			hours = len(s)
+		}
+	}
+	for h := 0; h < hours; h++ {
+		fmt.Printf("  %4d", h)
+		for _, n := range names {
+			fmt.Printf(" %*.1f", len(n), series[n][h])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func printCDFs(title string, cdfs map[string]*stats.CDF, unit string) {
+	fmt.Println(title)
+	names := sortedNames(nil, nil, cdfs)
+	quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	fmt.Printf("  %-18s", "quantile("+unit+")")
+	for _, q := range quantiles {
+		fmt.Printf(" %8.0f%%", q*100)
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("  %-18s", n)
+		for _, q := range quantiles {
+			v, err := cdfs[n].Quantile(q)
+			if err != nil {
+				fmt.Printf(" %9s", "-")
+				continue
+			}
+			fmt.Printf(" %9.2f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

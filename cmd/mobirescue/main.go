@@ -1,0 +1,80 @@
+// Command mobirescue runs one dispatch method over the evaluation day and
+// prints its outcome — the quickest way to exercise the full system.
+//
+// Usage:
+//
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mobirescue/internal/core"
+	"mobirescue/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mobirescue: ")
+	var (
+		method   = flag.String("method", "mr", "dispatch method: mr, rescue, or schedule")
+		scale    = flag.String("scale", "small", "scenario scale: small, mid, or full")
+		episodes = flag.Int("episodes", 6, "RL training episodes (mr only)")
+		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var cfg core.ScenarioConfig
+	switch *scale {
+	case "small":
+		cfg = core.SmallScenarioConfig()
+	case "mid":
+		cfg = core.SmallScenarioConfig()
+		cfg.City.GridRows, cfg.City.GridCols = 6, 6
+		cfg.People = 2000
+	case "full":
+		cfg = core.DefaultScenarioConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "building %s scenario...\n", *scale)
+	sc, err := core.BuildScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sysCfg := core.DefaultSystemConfig()
+	sysCfg.Seed = *seed
+	sysCfg.Teams = *teams
+	sys, err := core.NewSystem(sc, sysCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.RunMethod(*method, *episodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("method:        %s\n", res.Method)
+	fmt.Printf("requests:      %d\n", len(res.Requests))
+	fmt.Printf("served:        %d\n", res.TotalServed())
+	fmt.Printf("timely served: %d (within %v)\n", res.TotalTimelyServed(), res.Config.TimelyThreshold)
+	fmt.Printf("compute delay: %v per round\n", res.MeanComputeDelay().Round(100*time.Millisecond))
+	if delays := res.DrivingDelaysSeconds(); len(delays) > 0 {
+		cdf := stats.NewCDF(delays)
+		med, _ := cdf.Quantile(0.5)
+		p90, _ := cdf.Quantile(0.9)
+		fmt.Printf("driving delay: median %.0fs, p90 %.0fs\n", med, p90)
+	}
+	if tl := res.TimelinessSeconds(); len(tl) > 0 {
+		cdf := stats.NewCDF(tl)
+		med, _ := cdf.Quantile(0.5)
+		p90, _ := cdf.Quantile(0.9)
+		fmt.Printf("timeliness:    median %.0fs, p90 %.0fs\n", med, p90)
+	}
+}

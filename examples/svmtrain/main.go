@@ -1,0 +1,72 @@
+// Svmtrain exercises the rescue-request prediction stage alone: it
+// derives a labeled training set from the training hurricane's traces
+// (hospital-stay detection + flood-zone labeling, Section IV-B), trains
+// the SVM, and probes it across the disaster-related factor space.
+//
+//	go run ./examples/svmtrain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobirescue"
+	"mobirescue/internal/core"
+	"mobirescue/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("building scenario...")
+	sc, err := mobirescue.BuildScenario(mobirescue.SmallScenarioConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x, y, err := core.BuildSVMTrainingSet(sc.City, sc.Train, sc.Elev, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos := 0
+	for _, label := range y {
+		if label {
+			pos++
+		}
+	}
+	fmt.Printf("training set derived from traces: %d examples (%d rescued, %d not)\n",
+		len(x), pos, len(x)-pos)
+
+	model, err := core.TrainSVM(sc.City, sc.Train, sc.Elev, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained SVM with %d support vectors\n\n", model.NumSVs())
+
+	var conf stats.Confusion
+	for i := range x {
+		conf.Observe(model.Predict(x[i]), y[i])
+	}
+	fmt.Printf("training-set accuracy %.3f, precision %.3f, recall %.3f\n\n",
+		conf.Accuracy(), conf.Precision(), conf.Recall())
+
+	fmt.Println("decision surface probes (precip mm/h, wind mph, altitude m):")
+	probes := []struct {
+		name    string
+		factors []float64
+	}{
+		{"calm day, high ground", []float64{0, 5, 230}},
+		{"calm day, low ground", []float64{0, 5, 192}},
+		{"heavy storm, high ground", []float64{55, 50, 230}},
+		{"heavy storm, mid ground", []float64{55, 50, 210}},
+		{"heavy storm, low ground", []float64{55, 50, 192}},
+		{"extreme storm, low ground", []float64{80, 65, 190}},
+	}
+	for _, p := range probes {
+		verdict := "stay put"
+		if model.Predict(p.factors) {
+			verdict = "RESCUE"
+		}
+		fmt.Printf("  %-28s (%3.0f, %2.0f, %3.0f) -> %-8s (margin %+.2f)\n",
+			p.name, p.factors[0], p.factors[1], p.factors[2], verdict, model.Decision(p.factors))
+	}
+}

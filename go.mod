@@ -1,0 +1,3 @@
+module mobirescue
+
+go 1.22

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/stats"
+)
+
+// Fig9 returns each method's hourly count of timely served rescue
+// requests.
+func (c *Comparison) Fig9() map[string][]int {
+	out := make(map[string][]int, len(c.Results))
+	for name, res := range c.Results {
+		out[name] = res.TimelyServedPerHour()
+	}
+	return out
+}
+
+// Fig10 returns each method's CDF over per-team timely served counts.
+func (c *Comparison) Fig10() map[string]*stats.CDF {
+	out := make(map[string]*stats.CDF, len(c.Results))
+	for name, res := range c.Results {
+		perVeh := res.PerVehicleServed(c.Teams)
+		samples := make([]float64, len(perVeh))
+		for i, n := range perVeh {
+			samples[i] = float64(n)
+		}
+		out[name] = stats.NewCDF(samples)
+	}
+	return out
+}
+
+// Fig11 returns each method's hourly mean driving delay in seconds.
+func (c *Comparison) Fig11() map[string][]float64 {
+	out := make(map[string][]float64, len(c.Results))
+	for name, res := range c.Results {
+		out[name] = res.DrivingDelayPerHour()
+	}
+	return out
+}
+
+// Fig12 returns each method's CDF over per-request driving delays.
+func (c *Comparison) Fig12() map[string]*stats.CDF {
+	out := make(map[string]*stats.CDF, len(c.Results))
+	for name, res := range c.Results {
+		out[name] = stats.NewCDF(res.DrivingDelaysSeconds())
+	}
+	return out
+}
+
+// Fig13 returns each method's CDF over rescue timeliness (seconds),
+// which includes the dispatcher's computation delay by construction.
+func (c *Comparison) Fig13() map[string]*stats.CDF {
+	out := make(map[string]*stats.CDF, len(c.Results))
+	for name, res := range c.Results {
+		out[name] = stats.NewCDF(res.TimelinessSeconds())
+	}
+	return out
+}
+
+// Fig14 returns each method's mean serving-team count per hour.
+func (c *Comparison) Fig14() map[string][]float64 {
+	out := make(map[string][]float64, len(c.Results))
+	for name, res := range c.Results {
+		out[name] = res.ServingPerHour()
+	}
+	return out
+}
+
+// PredictionQuality compares the SVM's and the time-series baseline's
+// per-road-segment request prediction (Figures 15–16): for every person
+// we ask each predictor "will this person need rescue on the evaluation
+// day?", group the answers by the person's road segment, and report the
+// CDFs of per-segment accuracy and precision.
+type PredictionQuality struct {
+	SVMAccuracy  *stats.CDF
+	SVMPrecision *stats.CDF
+	TSAAccuracy  *stats.CDF
+	TSAPrecision *stats.CDF
+	// Overall aggregates across all people.
+	SVMOverall stats.Confusion
+	TSAOverall stats.Confusion
+}
+
+// PredictionQuality runs the Figure 15–16 evaluation on the evaluation
+// episode's peak request day.
+func (s *System) PredictionQuality() (*PredictionQuality, error) {
+	ep := s.Scenario.Eval
+	cfg := ep.Data.Config
+	day := ep.PeakRequestDay()
+	dayStart := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+
+	rescue, err := s.NewRescueBaseline()
+	if err != nil {
+		return nil, err
+	}
+	index := roadnet.NewSpatialIndex(s.Scenario.City.Graph)
+
+	// Ground truth: who requested rescue during the disaster, evaluated
+	// at their request instant (people rescued on neighboring days carry
+	// the same factor signature, so the label is per person, not per
+	// day).
+	requestAt := make(map[int]time.Time)
+	for _, r := range ep.Data.Rescues {
+		requestAt[r.PersonID] = r.RequestTime
+	}
+	// The disaster's local peak hour on that day anchors the evaluation
+	// instant for people who never request.
+	probeTime := dayStart.Add(12 * time.Hour)
+
+	perSegSVM := make(map[roadnet.SegmentID]*stats.Confusion)
+	perSegTSA := make(map[roadnet.SegmentID]*stats.Confusion)
+	var overallSVM, overallTSA stats.Confusion
+
+	for _, person := range ep.Data.People {
+		truth := false
+		at := probeTime
+		if t, ok := requestAt[person.ID]; ok {
+			truth = true
+			at = t
+		}
+		svmPred, pos, ok := s.EvalProvider.PredictPerson(person.ID, at)
+		if !ok {
+			continue
+		}
+		seg := index.NearestSegment(pos)
+		if seg == roadnet.NoSegment {
+			continue
+		}
+		tsaPred := rescue.Predict(seg, at) >= 0.5
+
+		if perSegSVM[seg] == nil {
+			perSegSVM[seg] = &stats.Confusion{}
+			perSegTSA[seg] = &stats.Confusion{}
+		}
+		perSegSVM[seg].Observe(svmPred, truth)
+		perSegTSA[seg].Observe(tsaPred, truth)
+		overallSVM.Observe(svmPred, truth)
+		overallTSA.Observe(tsaPred, truth)
+	}
+	if len(perSegSVM) == 0 {
+		return nil, fmt.Errorf("core: no people mapped to segments for prediction quality")
+	}
+
+	var svmAcc, svmPrec, tsaAcc, tsaPrec []float64
+	for seg, conf := range perSegSVM {
+		svmAcc = append(svmAcc, conf.Accuracy())
+		tsaAcc = append(tsaAcc, perSegTSA[seg].Accuracy())
+		// Precision is only meaningful where positives were predicted or
+		// present; follow the paper and include every segment, treating
+		// no-positive segments as precision 1 when nothing was missed.
+		svmPrec = append(svmPrec, precisionOrPerfect(*conf))
+		tsaPrec = append(tsaPrec, precisionOrPerfect(*perSegTSA[seg]))
+	}
+	return &PredictionQuality{
+		SVMAccuracy:  stats.NewCDF(svmAcc),
+		SVMPrecision: stats.NewCDF(svmPrec),
+		TSAAccuracy:  stats.NewCDF(tsaAcc),
+		TSAPrecision: stats.NewCDF(tsaPrec),
+		SVMOverall:   overallSVM,
+		TSAOverall:   overallTSA,
+	}, nil
+}
+
+// precisionOrPerfect returns the precision, treating "no positive
+// predictions and no actual positives" as a perfect 1.0 rather than 0.
+func precisionOrPerfect(c stats.Confusion) float64 {
+	if c.TP+c.FP == 0 {
+		if c.FN == 0 {
+			return 1
+		}
+		return 0
+	}
+	return c.Precision()
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mobirescue/internal/geo"
+	"mobirescue/internal/mobility"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/svm"
+	"mobirescue/internal/weather"
+)
+
+// hospitalStayRadius is how close (meters) a GPS sample must be to a
+// hospital to count as "at the hospital" in the derivation pipeline.
+const hospitalStayRadius = 300
+
+// hospitalStayMin is the paper's 2-hour hospital-stay threshold.
+const hospitalStayMin = 2 * time.Hour
+
+// factorLookback is the trailing window for averaged meteorological
+// factors (see weather.WindowFactors).
+const factorLookback = 24 * time.Hour
+
+// BuildSVMTrainingSet derives a labeled training set from an episode
+// using the paper's methodology (Section IV-B): rescued people are found
+// via the hospital-stay heuristic over the GPS traces and labeled
+// positive with the disaster-related factor vector at their last
+// pre-hospital position; an equal number of never-rescued people are
+// sampled as negatives with factors at their home during the disaster.
+func BuildSVMTrainingSet(city *roadnet.City, ep *Episode, elev func(geo.Point) float64, seed int64) (x [][]float64, y []bool, err error) {
+	cfg := ep.Data.Config
+	cleaned := mobility.Clean(ep.Data.Points, city.Graph.BBox().Pad(3000), 0)
+	deliveries := mobility.DetectDeliveries(city.Graph, city.Hospitals, cleaned, hospitalStayRadius, hospitalStayMin)
+	rescued := mobility.LabelRescued(deliveries, ep.Flood.InFloodZone)
+	if len(rescued) == 0 {
+		return nil, nil, fmt.Errorf("core: no rescued people detected in the training episode")
+	}
+
+	// Keep only deliveries whose pre-hospital observation falls inside
+	// the disaster impact window (with a short tail); later detections
+	// are routine hospital visits mislabeled by residual flooding.
+	rescuedSet := make(map[int]bool, len(rescued))
+	windowEnd := cfg.DisasterEnd.Add(12 * time.Hour)
+	for _, d := range rescued {
+		if d.PrevTime.Before(cfg.DisasterStart) || d.PrevTime.After(windowEnd) {
+			continue
+		}
+		x = append(x, weather.WindowFactors(ep.Storm, elev, d.PrevPos, d.PrevTime, factorLookback).Vector())
+		y = append(y, true)
+		rescuedSet[d.PersonID] = true
+	}
+	numPos := len(x)
+	if numPos == 0 {
+		return nil, nil, fmt.Errorf("core: no in-window rescued people in the training episode")
+	}
+
+	// Negatives: never-rescued people at their home during random
+	// disaster hours. A 2:1 negative ratio keeps the decision threshold
+	// calibrated to the real prevalence (far fewer people need rescue
+	// than not).
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []mobility.Person
+	for _, p := range ep.Data.People {
+		if !rescuedSet[p.ID] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("core: every person was rescued; cannot build negatives")
+	}
+	span := cfg.DisasterEnd.Sub(cfg.DisasterStart)
+	need := 2 * numPos
+	for i := 0; i < need; i++ {
+		p := candidates[rng.Intn(len(candidates))]
+		t := cfg.DisasterStart.Add(time.Duration(rng.Float64() * float64(span)))
+		x = append(x, weather.WindowFactors(ep.Storm, elev, p.Home, t, factorLookback).Vector())
+		y = append(y, false)
+	}
+	return x, y, nil
+}
+
+// TrainSVM fits the rescue-decision SVM (Equation 1) on the training
+// episode.
+func TrainSVM(city *roadnet.City, ep *Episode, elev func(geo.Point) float64, seed int64) (*svm.Model, error) {
+	x, y, err := BuildSVMTrainingSet(city, ep, elev, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := svm.DefaultConfig()
+	cfg.Seed = seed
+	// A linear kernel extrapolates monotonically in the factor space
+	// (more rain, more wind, lower ground -> more dangerous), which
+	// transfers better across storms of different intensity than RBF.
+	cfg.Kernel = svm.Linear{}
+	cfg.C = 10
+	model, err := svm.Train(x, y, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training SVM: %w", err)
+	}
+	return model, nil
+}
+
+// personTrack is one person's cleaned, time-ordered GPS samples.
+type personTrack struct {
+	times []time.Time
+	pos   []geo.Point
+}
+
+// posAt returns the person's last observed position at or before t (the
+// first observation when t precedes the trace).
+func (tr *personTrack) posAt(t time.Time) geo.Point {
+	idx := sort.Search(len(tr.times), func(i int) bool { return tr.times[i].After(t) }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return tr.pos[idx]
+}
+
+// PredictProvider implements the paper's stage 2 at query time: given the
+// real-time distribution of people (from their GPS traces) and the
+// current disaster-related factors, it applies the SVM per person and
+// counts predicted rescue requests per road segment (Equation 2).
+// Predictions are cached per query instant; the provider is safe for
+// concurrent use.
+type PredictProvider struct {
+	model  *svm.Model
+	storm  weather.Field
+	elev   func(geo.Point) float64
+	tracks map[int]*personTrack
+	index  *roadnet.SpatialIndex
+
+	mu    sync.Mutex
+	cache map[int64]map[roadnet.SegmentID]float64
+}
+
+// NewPredictProvider builds the provider over an episode's people traces.
+func NewPredictProvider(city *roadnet.City, ep *Episode, model *svm.Model, elev func(geo.Point) float64) (*PredictProvider, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: SVM model required")
+	}
+	tracks := make(map[int]*personTrack)
+	for _, pt := range ep.Data.Points {
+		tr := tracks[pt.PersonID]
+		if tr == nil {
+			tr = &personTrack{}
+			tracks[pt.PersonID] = tr
+		}
+		tr.times = append(tr.times, pt.Time)
+		tr.pos = append(tr.pos, pt.Pos)
+	}
+	if len(tracks) == 0 {
+		return nil, fmt.Errorf("core: episode has no GPS points")
+	}
+	return &PredictProvider{
+		model:  model,
+		storm:  ep.Storm,
+		elev:   elev,
+		tracks: tracks,
+		index:  roadnet.NewSpatialIndex(city.Graph),
+		cache:  make(map[int64]map[roadnet.SegmentID]float64),
+	}, nil
+}
+
+// Predict returns the predicted number of potential rescue requests per
+// segment at time t — the ñ_e distribution of Equation 2.
+func (p *PredictProvider) Predict(t time.Time) map[roadnet.SegmentID]float64 {
+	key := t.Unix()
+	p.mu.Lock()
+	if cached, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return cached
+	}
+	p.mu.Unlock()
+
+	out := make(map[roadnet.SegmentID]float64)
+	for _, tr := range p.tracks {
+		pos := tr.posAt(t)
+		factors := weather.WindowFactors(p.storm, p.elev, pos, t, factorLookback)
+		if !p.model.Predict(factors.Vector()) {
+			continue
+		}
+		seg := p.index.NearestSegment(pos)
+		if seg == roadnet.NoSegment {
+			continue
+		}
+		out[seg]++
+	}
+
+	p.mu.Lock()
+	p.cache[key] = out
+	p.mu.Unlock()
+	return out
+}
+
+// PredictPerson returns the SVM decision for one person at time t, used
+// by the prediction-quality experiments (Figures 15–16).
+func (p *PredictProvider) PredictPerson(personID int, t time.Time) (bool, geo.Point, bool) {
+	tr, ok := p.tracks[personID]
+	if !ok {
+		return false, geo.Point{}, false
+	}
+	pos := tr.posAt(t)
+	factors := weather.WindowFactors(p.storm, p.elev, pos, t, factorLookback)
+	return p.model.Predict(factors.Vector()), pos, true
+}

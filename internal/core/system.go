@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobirescue/internal/dispatch"
+	"mobirescue/internal/ilp"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+	"mobirescue/internal/svm"
+	"mobirescue/internal/tsa"
+)
+
+// SystemConfig tunes model training and the evaluation run.
+type SystemConfig struct {
+	// Seed drives training randomness and fleet placement.
+	Seed int64
+	// Teams is the fleet size; 0 sizes it like the paper (the maximum
+	// daily number of requests, 100 in their evaluation).
+	Teams int
+	// TrainEpisodes is how many simulated training days the RL dispatcher
+	// learns for.
+	TrainEpisodes int
+	// MR configures the MobiRescue dispatcher.
+	MR dispatch.MRConfig
+	// Sim configures the evaluation simulation (Start/Duration are set
+	// per run).
+	Sim sim.Config
+	// IPLatency models the baselines' integer-programming solve time.
+	IPLatency ilp.LatencyModel
+}
+
+// DefaultSystemConfig returns the paper-matching defaults.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Seed:          1,
+		TrainEpisodes: 12,
+		MR:            dispatch.DefaultMRConfig(),
+		Sim:           sim.DefaultConfig(time.Time{}),
+		IPLatency:     ilp.PaperLatency(),
+	}
+}
+
+// System is the assembled MobiRescue stack: scenario, trained SVM,
+// prediction provider, and the RL dispatcher, plus the baselines needed
+// for the comparison experiments.
+type System struct {
+	Config   SystemConfig
+	Scenario *Scenario
+	SVM      *svm.Model
+	// TrainProvider predicts over the training episode (used during RL
+	// training); EvalProvider predicts over the evaluation episode.
+	TrainProvider *PredictProvider
+	EvalProvider  *PredictProvider
+	MR            *dispatch.MobiRescue
+	Teams         int
+}
+
+// NewSystem trains the SVM on the training episode and wires up the RL
+// dispatcher (untrained until TrainRL runs).
+func NewSystem(sc *Scenario, cfg SystemConfig) (*System, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("core: scenario required")
+	}
+	model, err := TrainSVM(sc.City, sc.Train, sc.Elev, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trainProv, err := NewPredictProvider(sc.City, sc.Train, model, sc.Elev)
+	if err != nil {
+		return nil, err
+	}
+	evalProv, err := NewPredictProvider(sc.City, sc.Eval, model, sc.Elev)
+	if err != nil {
+		return nil, err
+	}
+	teams := cfg.Teams
+	if teams <= 0 {
+		// The paper's Figure 10 shows teams timely-serving several
+		// requests each over the day, so the fleet is sized well below
+		// the daily request count: one team per four evaluation-day
+		// requests.
+		teams = (len(RequestsForDay(sc.Eval, sc.Eval.PeakRequestDay())) + 3) / 4
+		if teams < 6 {
+			teams = 6
+		}
+	}
+	mrCfg := cfg.MR
+	mrCfg.Capacity = cfgCapacity(cfg.Sim)
+	mrCfg.Agent.Seed = cfg.Seed
+	// The provider is swapped between training and evaluation via the
+	// active pointer below.
+	sys := &System{
+		Config:        cfg,
+		Scenario:      sc,
+		SVM:           model,
+		TrainProvider: trainProv,
+		EvalProvider:  evalProv,
+		Teams:         teams,
+	}
+	mr, err := dispatch.NewMobiRescue(sc.City.NumRegions(), func(t time.Time) map[roadnet.SegmentID]float64 {
+		return sys.activeProvider(t).Predict(t)
+	}, mrCfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.MR = mr
+	return sys, nil
+}
+
+func cfgCapacity(c sim.Config) int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return 5
+}
+
+// activeProvider routes prediction queries to the episode containing t.
+func (s *System) activeProvider(t time.Time) *PredictProvider {
+	if !t.Before(s.Scenario.Train.Data.Config.Start) {
+		return s.TrainProvider
+	}
+	return s.EvalProvider
+}
+
+// RequestsForDay converts an episode's ground-truth rescues on a 0-based
+// day into simulator requests.
+func RequestsForDay(ep *Episode, day int) []sim.Request {
+	cfg := ep.Data.Config
+	var out []sim.Request
+	for _, r := range ep.Data.Rescues {
+		if cfg.DayIndex(r.RequestTime) != day {
+			continue
+		}
+		out = append(out, sim.Request{
+			ID:       sim.RequestID(len(out)),
+			PersonID: r.PersonID,
+			Seg:      r.Seg,
+			AppearAt: r.RequestTime,
+		})
+	}
+	return out
+}
+
+// VehicleStarts places n vehicles randomly among the city's hospitals
+// (the paper initializes ambulances at hospitals).
+func VehicleStarts(city *roadnet.City, n int, seed int64) ([]roadnet.Position, error) {
+	if len(city.Hospitals) == 0 {
+		return nil, fmt.Errorf("core: city has no hospitals")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]roadnet.Position, 0, n)
+	for i := 0; i < n; i++ {
+		h := city.Hospitals[rng.Intn(len(city.Hospitals))]
+		pos, err := city.Graph.AtLandmark(h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pos)
+	}
+	return out, nil
+}
+
+// simConfigForDay binds the system's sim settings to one episode day.
+func (s *System) simConfigForDay(ep *Episode, day int) sim.Config {
+	cfg := s.Config.Sim
+	if cfg.Step <= 0 {
+		cfg = sim.DefaultConfig(time.Time{})
+	}
+	cfg.Start = ep.Data.Config.Start.Add(time.Duration(day) * 24 * time.Hour)
+	if cfg.Duration <= 0 {
+		cfg.Duration = 24 * time.Hour
+	}
+	return cfg
+}
+
+// runDay simulates one episode day under the given dispatcher.
+func (s *System) runDay(ep *Episode, day int, disp sim.Dispatcher) (*sim.Result, error) {
+	cfg := s.simConfigForDay(ep, day)
+	requests := RequestsForDay(ep, day)
+	starts, err := VehicleStarts(s.Scenario.City, s.Teams, s.Config.Seed)
+	if err != nil {
+		return nil, err
+	}
+	costProv := sim.RescueCostProvider{
+		Base:  ep.Disaster(s.Scenario.City.Graph),
+		Crawl: cfg.CrawlFactor,
+	}
+	simulator, err := sim.New(s.Scenario.City, costProv, disp, requests, starts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return simulator.Run()
+}
+
+// TrainRL trains the MobiRescue dispatcher online by replaying the
+// training episode's peak day repeatedly (Section IV-C4), returning the
+// total timely served requests per episode.
+func (s *System) TrainRL(episodes int) ([]float64, error) {
+	if episodes <= 0 {
+		episodes = s.Config.TrainEpisodes
+	}
+	day := s.Scenario.Train.PeakRequestDay()
+	s.MR.SetTraining(true)
+	defer s.MR.SetTraining(false)
+	returns := make([]float64, 0, episodes)
+	for e := 0; e < episodes; e++ {
+		res, err := s.runDay(s.Scenario.Train, day, s.MR)
+		if err != nil {
+			return returns, fmt.Errorf("core: training episode %d: %w", e, err)
+		}
+		s.MR.EndEpisode()
+		returns = append(returns, float64(res.TotalTimelyServed()))
+	}
+	return returns, nil
+}
+
+// Comparison holds the three methods' results on the evaluation day.
+type Comparison struct {
+	Day     int
+	Teams   int
+	Results map[string]*sim.Result // keyed by method name
+}
+
+// MethodNames lists the methods in the paper's order.
+var MethodNames = []string{"MobiRescue", "Rescue", "Schedule"}
+
+// NewRescueBaseline builds the Rescue dispatcher seeded with the training
+// episode's observed demand history, then re-anchored to the evaluation
+// window so "previous days" resolve to the evaluation episode's earlier
+// days.
+func (s *System) NewRescueBaseline() (*dispatch.Rescue, error) {
+	pred, err := tsa.New(3, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	ep := s.Scenario.Eval
+	cfg := ep.Data.Config
+	// Seed with the evaluation episode's own earlier days (the method's
+	// "historical distribution of rescue request appearances").
+	for _, r := range ep.Data.Rescues {
+		hour := int(r.RequestTime.Sub(cfg.Start) / time.Hour)
+		pred.Observe(int(r.Seg), hour, 1)
+	}
+	return dispatch.NewRescue(pred, cfg.Start, s.Config.IPLatency), nil
+}
+
+// RunMethod runs a single dispatch method over the evaluation episode's
+// peak request day. method is one of "mr" (or "mobirescue"), "rescue",
+// or "schedule". For the MR case, episodes > 0 trains the RL dispatcher
+// first; episodes == 0 runs the policy as-is.
+func (s *System) RunMethod(method string, episodes int) (*sim.Result, error) {
+	day := s.Scenario.Eval.PeakRequestDay()
+	switch method {
+	case "mr", "mobirescue", "MobiRescue":
+		if episodes > 0 {
+			if _, err := s.TrainRL(episodes); err != nil {
+				return nil, err
+			}
+		}
+		s.MR.SetTraining(false)
+		return s.runDay(s.Scenario.Eval, day, s.MR)
+	case "rescue", "Rescue":
+		rescue, err := s.NewRescueBaseline()
+		if err != nil {
+			return nil, err
+		}
+		return s.runDay(s.Scenario.Eval, day, rescue)
+	case "schedule", "Schedule":
+		return s.runDay(s.Scenario.Eval, day, dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency))
+	default:
+		return nil, fmt.Errorf("core: unknown method %q (want mr, rescue, or schedule)", method)
+	}
+}
+
+// RunDispatcher runs an arbitrary dispatcher over the evaluation
+// episode's peak request day — the hook ablation studies use to swap in
+// modified baselines.
+func (s *System) RunDispatcher(disp sim.Dispatcher) (*sim.Result, error) {
+	return s.runDay(s.Scenario.Eval, s.Scenario.Eval.PeakRequestDay(), disp)
+}
+
+// RunComparison evaluates MobiRescue and both baselines on the
+// evaluation episode's peak request day (the paper's Sep 16).
+func (s *System) RunComparison() (*Comparison, error) {
+	day := s.Scenario.Eval.PeakRequestDay()
+	cmp := &Comparison{Day: day, Teams: s.Teams, Results: make(map[string]*sim.Result)}
+
+	s.MR.SetTraining(false)
+	mrRes, err := s.runDay(s.Scenario.Eval, day, s.MR)
+	if err != nil {
+		return nil, fmt.Errorf("core: MobiRescue run: %w", err)
+	}
+	cmp.Results["MobiRescue"] = mrRes
+
+	rescue, err := s.NewRescueBaseline()
+	if err != nil {
+		return nil, err
+	}
+	rescueRes, err := s.runDay(s.Scenario.Eval, day, rescue)
+	if err != nil {
+		return nil, fmt.Errorf("core: Rescue run: %w", err)
+	}
+	cmp.Results["Rescue"] = rescueRes
+
+	schedule := dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency)
+	scheduleRes, err := s.runDay(s.Scenario.Eval, day, schedule)
+	if err != nil {
+		return nil, fmt.Errorf("core: Schedule run: %w", err)
+	}
+	cmp.Results["Schedule"] = scheduleRes
+	return cmp, nil
+}

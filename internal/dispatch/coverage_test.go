@@ -1,0 +1,121 @@
+package dispatch
+
+import (
+	"testing"
+
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+)
+
+// TestCoverageRetargetsDepotOrders: with zero predicted demand the
+// untrained policy may rest teams, but a waiting request must still get
+// a team — the coverage pass converts a depot order into a target order.
+func TestCoverageRetargetsDepotOrders(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[3])[0]
+	m, err := NewMobiRescue(7, constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, city,
+		[]roadnet.LandmarkID{city.Hospitals[0], city.Hospitals[1]},
+		[]roadnet.SegmentID{reqSeg})
+	orders, _ := m.Decide(snap)
+	found := false
+	for _, o := range orders {
+		if !o.ToDepot && o.Target == reqSeg {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no team ordered to the waiting request segment; orders = %+v", orders)
+	}
+}
+
+// TestCoverageAssignsNearestTeam: the min-distance matching should send
+// the closer of two free teams.
+func TestCoverageAssignsNearestTeam(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[2])[0]
+	m, err := NewMobiRescue(7, constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vehicle 0 at the same hospital as the request, vehicle 1 far away.
+	snap := testSnapshot(t, city,
+		[]roadnet.LandmarkID{city.Hospitals[2], city.Hospitals[5]},
+		[]roadnet.SegmentID{reqSeg})
+	orders, _ := m.Decide(snap)
+	for _, o := range orders {
+		if o.Target == reqSeg && o.Vehicle != 0 {
+			t.Errorf("far vehicle %d sent to the request; want vehicle 0", o.Vehicle)
+		}
+	}
+}
+
+// TestCoverageRespectsInboundTeams: a team already heading to the
+// request segment means no additional retargeting is needed.
+func TestCoverageRespectsInboundTeams(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[4])[0]
+	m, err := NewMobiRescue(7, constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: both teams idle, one gets sent to the request.
+	snap := testSnapshot(t, city,
+		[]roadnet.LandmarkID{city.Hospitals[4], city.Hospitals[6]},
+		[]roadnet.SegmentID{reqSeg})
+	orders, _ := m.Decide(snap)
+	var inbound sim.VehicleID = -1
+	for _, o := range orders {
+		if o.Target == reqSeg {
+			inbound = o.Vehicle
+		}
+	}
+	if inbound < 0 {
+		t.Fatal("round 1 did not cover the request")
+	}
+	// Round 2: the inbound team is now Serving; the other team is idle.
+	// Nobody else should be diverted to the already-covered segment.
+	snap2 := testSnapshot(t, city,
+		[]roadnet.LandmarkID{city.Hospitals[4], city.Hospitals[6]},
+		[]roadnet.SegmentID{reqSeg})
+	for i := range snap2.Vehicles {
+		if snap2.Vehicles[i].ID == inbound {
+			snap2.Vehicles[i].Phase = sim.PhaseServing
+		}
+	}
+	orders2, _ := m.Decide(snap2)
+	for _, o := range orders2 {
+		if o.Vehicle != inbound && !o.ToDepot && o.Target == reqSeg {
+			t.Errorf("second team %d diverted to an already-covered request", o.Vehicle)
+		}
+	}
+}
+
+// TestDeploymentGuard: when waiting requests outnumber working teams,
+// no free team may be sent to the depot.
+func TestDeploymentGuard(t *testing.T) {
+	city := testCity(t)
+	byRegion := city.Graph.SegmentIDsByRegion()
+	reqs := []roadnet.SegmentID{
+		byRegion[1][0], byRegion[2][0], byRegion[3][0], byRegion[4][0],
+	}
+	m, err := NewMobiRescue(7, constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, city,
+		[]roadnet.LandmarkID{city.Hospitals[0], city.Hospitals[1], city.Hospitals[2]},
+		reqs)
+	orders, _ := m.Decide(snap)
+	if len(orders) != 3 {
+		t.Fatalf("orders = %d, want all 3 free teams directed", len(orders))
+	}
+	for _, o := range orders {
+		if o.ToDepot {
+			t.Errorf("team %d rested while %d requests wait with only 3 teams", o.Vehicle, len(reqs))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package dispatch implements the three rescue-team dispatching methods
+// the paper evaluates (Section V-A):
+//
+//   - MobiRescue (MR): the paper's contribution — an RL policy over the
+//     predicted distribution of potential rescue requests (from the SVM
+//     stage) that decides, per team, which area to serve or whether to
+//     return to the depot. Inference takes well under a second, so its
+//     orders apply almost immediately.
+//   - Schedule [5]: on-demand integer-programming dispatch for normal
+//     situations. It assigns teams to appeared requests minimizing
+//     driving delay, but plans on the pre-disaster (free-flow) map —
+//     ignoring flood closures — and pays minutes of IP solve time.
+//   - Rescue [8]: time-series demand prediction plus periodic integer
+//     programming. Flood-aware routing, but its predictor ignores
+//     disaster-related factors and it pays the same IP latency.
+//
+// All three implement sim.Dispatcher.
+package dispatch
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"mobirescue/internal/geo"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+)
+
+// PredictFn returns the predicted number of potential rescue requests per
+// road segment at time t — the distribution ñ_e of Equation 2, produced
+// by the SVM stage.
+type PredictFn func(t time.Time) map[roadnet.SegmentID]float64
+
+// regionDemand aggregates a per-segment prediction into per-region totals
+// (index 0 unused).
+func regionDemand(g *roadnet.Graph, pred map[roadnet.SegmentID]float64, numRegions int) []float64 {
+	out := make([]float64, numRegions+1)
+	for seg, n := range pred {
+		if int(seg) < 0 || int(seg) >= g.NumSegments() || n <= 0 {
+			continue
+		}
+		r := g.Segment(seg).Region
+		if r >= 1 && r <= numRegions {
+			out[r] += n
+		}
+	}
+	return out
+}
+
+// rankedSegmentsInRegion returns the region's open segments that carry
+// predicted demand, sorted by demand descending. The slice is empty when
+// the region has no predicted demand on open segments.
+func rankedSegmentsInRegion(snap *sim.Snapshot, region int, pred map[roadnet.SegmentID]float64) []roadnet.SegmentID {
+	g := snap.City.Graph
+	type segDemand struct {
+		seg roadnet.SegmentID
+		n   float64
+	}
+	var ranked []segDemand
+	for seg, n := range pred {
+		if n <= 0 || int(seg) < 0 || int(seg) >= g.NumSegments() {
+			continue
+		}
+		s := g.Segment(seg)
+		if s.Region != region {
+			continue
+		}
+		if _, open := snap.Cost.SegmentTime(s); !open {
+			continue
+		}
+		ranked = append(ranked, segDemand{seg: seg, n: n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].seg < ranked[j].seg
+	})
+	out := make([]roadnet.SegmentID, len(ranked))
+	for i, sd := range ranked {
+		out[i] = sd.seg
+	}
+	return out
+}
+
+// bestSegmentInRegion picks the open segment in the region with the
+// highest predicted demand; with no demand it falls back to the segment
+// whose midpoint is nearest the region center.
+func bestSegmentInRegion(snap *sim.Snapshot, region int, pred map[roadnet.SegmentID]float64) roadnet.SegmentID {
+	if ranked := rankedSegmentsInRegion(snap, region, pred); len(ranked) > 0 {
+		return ranked[0]
+	}
+	g := snap.City.Graph
+	best := roadnet.NoSegment
+	// Patrol fallback: open segment nearest the region center.
+	center := snap.City.Regions[region].Center
+	bestD := math.Inf(1)
+	g.Segments(func(s roadnet.Segment) {
+		if s.Region != region {
+			return
+		}
+		if _, open := snap.Cost.SegmentTime(s); !open {
+			return
+		}
+		if d := geo.FastDistance(g.SegmentMidpoint(s.ID), center); d < bestD {
+			bestD = d
+			best = s.ID
+		}
+	})
+	return best
+}
+
+// bestOpenSegmentInRegion returns the region's civilian-open segment
+// nearest the region center, or NoSegment when the whole region is under
+// water.
+func bestOpenSegmentInRegion(snap *sim.Snapshot, baseCost roadnet.CostModel, region int) roadnet.SegmentID {
+	g := snap.City.Graph
+	center := snap.City.Regions[region].Center
+	best := roadnet.NoSegment
+	bestD := math.Inf(1)
+	g.Segments(func(s roadnet.Segment) {
+		if s.Region != region {
+			return
+		}
+		if w, open := baseCost.SegmentTime(s); !open || math.IsInf(w, 1) {
+			return
+		}
+		if d := geo.FastDistance(g.SegmentMidpoint(s.ID), center); d < bestD {
+			bestD = d
+			best = s.ID
+		}
+	})
+	return best
+}
+
+// standbySegments returns one open segment per region (nearest the region
+// center) for spreading idle teams out, as static-deployment baselines
+// do. Regions with no open segment are skipped.
+func standbySegments(snap *sim.Snapshot) []roadnet.SegmentID {
+	var out []roadnet.SegmentID
+	for r := 1; r <= snap.City.NumRegions(); r++ {
+		if seg := bestSegmentInRegion(snap, r, nil); seg != roadnet.NoSegment {
+			out = append(out, seg)
+		}
+	}
+	return out
+}

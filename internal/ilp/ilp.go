@@ -1,0 +1,338 @@
+// Package ilp implements the integer-programming substrate the paper's
+// comparison methods rely on: the Hungarian algorithm for min-cost
+// assignment (the core of both Schedule [5] and Rescue [8] dispatch
+// formulations) and an exact branch-and-bound solver for general 0/1
+// integer programs. A latency model reproduces the paper's observation
+// that IP-based dispatching takes on the order of minutes (~300 s),
+// which is what destroys the baselines' rescue timeliness (Figure 13).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Infeasible marks a forbidden assignment cost.
+var Infeasible = math.Inf(1)
+
+// ErrInfeasible is returned when no feasible solution exists.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// Hungarian solves the rectangular min-cost assignment problem: cost[i][j]
+// is the cost of assigning row i (e.g. a rescue team) to column j (e.g. a
+// request). It returns assign with assign[i] = column of row i or -1 when
+// the row is left unassigned (more rows than columns), plus the total
+// cost. Entries equal to Infeasible are never assigned; if a perfect
+// matching of the smaller side is impossible, ErrInfeasible is returned.
+func Hungarian(cost [][]float64) (assign []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			return nil, 0, fmt.Errorf("ilp: ragged cost matrix at row %d", i)
+		}
+	}
+	if m == 0 {
+		return make([]int, n), 0, fmt.Errorf("ilp: empty columns")
+	}
+	// Pad to a square matrix with a large-but-finite cost so the classic
+	// O(n^3) algorithm applies; padded cells mean "unassigned".
+	size := n
+	if m > size {
+		size = m
+	}
+	// big must dominate any feasible total without overflowing.
+	big := 1.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if !math.IsInf(cost[i][j], 1) && math.Abs(cost[i][j]) > big {
+				big = math.Abs(cost[i][j])
+			}
+		}
+	}
+	big = big*float64(size+1) + 1
+	a := make([][]float64, size)
+	for i := range a {
+		a[i] = make([]float64, size)
+		for j := range a[i] {
+			switch {
+			case i < n && j < m && !math.IsInf(cost[i][j], 1):
+				a[i][j] = cost[i][j]
+			default:
+				a[i][j] = big
+			}
+		}
+	}
+
+	// Jonker-Volgenant-style shortest augmenting path Hungarian
+	// (1-indexed potentials formulation).
+	const inf = math.MaxFloat64
+	u := make([]float64, size+1)
+	v := make([]float64, size+1)
+	p := make([]int, size+1) // p[j] = row matched to column j
+	way := make([]int, size+1)
+	for i := 1; i <= size; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, size+1)
+		used := make([]bool, size+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= size; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= size; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	total = 0
+	for j := 1; j <= size; j++ {
+		i := p[j] - 1
+		if i < 0 || i >= n || j-1 >= m {
+			continue
+		}
+		if math.IsInf(cost[i][j-1], 1) {
+			// The algorithm matched through a padded/infeasible cell:
+			// treat as unassigned.
+			continue
+		}
+		assign[i] = j - 1
+		total += cost[i][j-1]
+	}
+	// Feasibility: every column (if m <= n) or every row (if n <= m)
+	// should be matched through a feasible cell, unless the instance
+	// genuinely forbids it.
+	matched := 0
+	for _, j := range assign {
+		if j >= 0 {
+			matched++
+		}
+	}
+	need := n
+	if m < n {
+		need = m
+	}
+	if matched < need {
+		return assign, total, fmt.Errorf("%w: only %d of %d assignable", ErrInfeasible, matched, need)
+	}
+	return assign, total, nil
+}
+
+// Problem is a 0/1 integer program:
+//
+//	minimize    c.x
+//	subject to  A[i].x <= B[i]  for every row i
+//	            x[j] in {0, 1}
+type Problem struct {
+	C []float64   // objective coefficients
+	A [][]float64 // constraint rows (each of length len(C))
+	B []float64   // right-hand sides
+}
+
+// Validate reports structural errors.
+func (p *Problem) Validate() error {
+	if len(p.C) == 0 {
+		return errors.New("ilp: empty objective")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("ilp: %d constraint rows vs %d bounds", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != len(p.C) {
+			return fmt.Errorf("ilp: constraint %d has %d coefficients, want %d", i, len(row), len(p.C))
+		}
+	}
+	return nil
+}
+
+// Solution is the result of Solve01.
+type Solution struct {
+	X         []bool
+	Objective float64
+	Nodes     int // branch-and-bound nodes explored
+}
+
+// Solve01 exactly solves the 0/1 program by depth-first branch and bound.
+// The lower bound at each node adds every remaining variable with a
+// negative cost; feasibility is pruned via optimistic per-constraint
+// slack. maxNodes caps the search (0 means a million nodes); exceeding it
+// returns the best incumbent found with an error.
+func Solve01(p Problem, maxNodes int) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1_000_000
+	}
+	n := len(p.C)
+	// minAdd[i][j]: the minimum possible additional usage of constraint i
+	// from variables j..n-1 (choosing each only if its coefficient is
+	// negative). Used for optimistic feasibility pruning.
+	minAdd := make([][]float64, len(p.A))
+	for i, row := range p.A {
+		minAdd[i] = make([]float64, n+1)
+		for j := n - 1; j >= 0; j-- {
+			add := 0.0
+			if row[j] < 0 {
+				add = row[j]
+			}
+			minAdd[i][j] = minAdd[i][j+1] + add
+		}
+	}
+	// minCost[j]: sum of negative costs from j on (objective lower bound).
+	minCost := make([]float64, n+1)
+	for j := n - 1; j >= 0; j-- {
+		add := 0.0
+		if p.C[j] < 0 {
+			add = p.C[j]
+		}
+		minCost[j] = minCost[j+1] + add
+	}
+
+	best := Solution{Objective: math.Inf(1)}
+	x := make([]bool, n)
+	usage := make([]float64, len(p.A))
+	nodes := 0
+	var capped bool
+
+	var dfs func(j int, obj float64)
+	dfs = func(j int, obj float64) {
+		if capped {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			capped = true
+			return
+		}
+		// Bound: even the best completion cannot beat the incumbent.
+		if obj+minCost[j] >= best.Objective {
+			return
+		}
+		// Optimistic feasibility: with the most helpful remaining
+		// choices, can each constraint still be satisfied?
+		for i := range p.A {
+			if usage[i]+minAdd[i][j] > p.B[i]+1e-9 {
+				return
+			}
+		}
+		if j == n {
+			// All constraints already verified satisfiable with nothing
+			// left to add; check exactly.
+			for i := range p.A {
+				if usage[i] > p.B[i]+1e-9 {
+					return
+				}
+			}
+			best = Solution{X: append([]bool(nil), x...), Objective: obj}
+			return
+		}
+		// Branch: try including j first when its cost helps.
+		order := [2]bool{false, true}
+		if p.C[j] < 0 {
+			order = [2]bool{true, false}
+		}
+		for _, take := range order {
+			x[j] = take
+			if take {
+				for i := range p.A {
+					usage[i] += p.A[i][j]
+				}
+				dfs(j+1, obj+p.C[j])
+				for i := range p.A {
+					usage[i] -= p.A[i][j]
+				}
+			} else {
+				dfs(j+1, obj)
+			}
+		}
+		x[j] = false
+	}
+	dfs(0, 0)
+	best.Nodes = nodes
+	if math.IsInf(best.Objective, 1) {
+		if capped {
+			return best, fmt.Errorf("ilp: node budget %d exhausted with no incumbent", maxNodes)
+		}
+		return best, ErrInfeasible
+	}
+	if capped {
+		return best, fmt.Errorf("ilp: node budget %d exhausted; solution may be suboptimal", maxNodes)
+	}
+	return best, nil
+}
+
+// LatencyModel estimates how long an IP-based dispatcher computes before
+// its decisions take effect — the paper reports ~300 s per solve, growing
+// with the number of requests. The model is Base + PerVariable*n, capped
+// by Max.
+type LatencyModel struct {
+	Base        time.Duration
+	PerVariable time.Duration
+	Max         time.Duration
+}
+
+// PaperLatency returns the latency model matching Section V-C3: around
+// 300 s per solve, varying with demand.
+func PaperLatency() LatencyModel {
+	return LatencyModel{
+		Base:        240 * time.Second,
+		PerVariable: 500 * time.Millisecond,
+		Max:         600 * time.Second,
+	}
+}
+
+// Latency returns the modeled solve time for an instance with n decision
+// variables.
+func (lm LatencyModel) Latency(n int) time.Duration {
+	d := lm.Base + time.Duration(n)*lm.PerVariable
+	if lm.Max > 0 && d > lm.Max {
+		d = lm.Max
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -1,0 +1,281 @@
+package mobility
+
+import (
+	"testing"
+
+	"mobirescue/internal/geo"
+	"mobirescue/internal/roadnet"
+)
+
+// genTestDataset builds a small dataset shared by generation tests.
+func genTestDataset(t testing.TB) (*roadnet.City, *fakeDisaster, *Dataset) {
+	t.Helper()
+	city := smallCity(t)
+	cfg := smallConfig()
+	dis := testDisaster(city, cfg)
+	// Boost the hazard so the small population still yields rescues.
+	cfg.TrapHazardPerHour = 0.02
+	ds, err := Generate(city, dis, flatAlt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city, dis, ds
+}
+
+func TestGenerateValidation(t *testing.T) {
+	city := smallCity(t)
+	cfg := smallConfig()
+	dis := testDisaster(city, cfg)
+	if _, err := Generate(nil, dis, flatAlt, cfg); err == nil {
+		t.Error("nil city should error")
+	}
+	if _, err := Generate(city, nil, flatAlt, cfg); err == nil {
+		t.Error("nil disaster should error")
+	}
+	if _, err := Generate(city, dis, nil, cfg); err == nil {
+		t.Error("nil elev should error")
+	}
+	bad := cfg
+	bad.NumPeople = 0
+	if _, err := Generate(city, dis, flatAlt, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	city, _, ds := genTestDataset(t)
+	if len(ds.People) != ds.Config.NumPeople {
+		t.Fatalf("people = %d, want %d", len(ds.People), ds.Config.NumPeople)
+	}
+	regionCount := make(map[int]int)
+	for _, p := range ds.People {
+		if p.HomeRegion < 1 || p.HomeRegion > city.NumRegions() {
+			t.Fatalf("person %d region %d invalid", p.ID, p.HomeRegion)
+		}
+		regionCount[p.HomeRegion]++
+		if p.HomeSeg == roadnet.NoSegment {
+			t.Fatalf("person %d has no home segment", p.ID)
+		}
+		if !p.Home.Valid() || !p.Work.Valid() {
+			t.Fatalf("person %d has invalid anchors", p.ID)
+		}
+		// Home anchor is near its landmark (250 m jitter bound).
+		if d := geo.Haversine(p.Home, city.Graph.Landmark(p.HomeLM).Pos); d > 260 {
+			t.Fatalf("person %d home %v m from landmark", p.ID, d)
+		}
+	}
+	// All 7 regions inhabited.
+	for r := 1; r <= 7; r++ {
+		if regionCount[r] == 0 {
+			t.Errorf("region %d uninhabited", r)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	city := smallCity(t)
+	cfg := smallConfig()
+	cfg.NumPeople = 60
+	dis := testDisaster(city, cfg)
+	a, err := Generate(city, dis, flatAlt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(city, dis, flatAlt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) || len(a.Trips) != len(b.Trips) || len(a.Rescues) != len(b.Rescues) {
+		t.Fatalf("sizes differ: (%d,%d,%d) vs (%d,%d,%d)",
+			len(a.Points), len(a.Trips), len(a.Rescues),
+			len(b.Points), len(b.Trips), len(b.Rescues))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestGenerateTripsCollapseDuringDisaster(t *testing.T) {
+	_, _, ds := genTestDataset(t)
+	cfg := ds.Config
+	byPhase := map[Phase]int{}
+	for _, tr := range ds.Trips {
+		byPhase[cfg.PhaseOf(tr.Depart)]++
+	}
+	beforeDays := cfg.DisasterStart.Sub(cfg.Start).Hours() / 24
+	duringDays := cfg.DisasterEnd.Sub(cfg.DisasterStart).Hours() / 24
+	beforeRate := float64(byPhase[PhaseBefore]) / beforeDays
+	duringRate := float64(byPhase[PhaseDuring]) / duringDays
+	// City-wide, disaster-day movement drops (commutes stop; dry-street
+	// people only make short local trips).
+	if duringRate >= beforeRate*0.8 {
+		t.Errorf("disaster trips did not drop: before=%v/day during=%v/day", beforeRate, duringRate)
+	}
+	// The flooded district collapses outright: the test flood covers
+	// downtown, so downtown-resident trips during the disaster are rare.
+	downtownDuring := 0
+	downtownBefore := 0
+	people := make(map[int]Person, len(ds.People))
+	for _, p := range ds.People {
+		people[p.ID] = p
+	}
+	for _, tr := range ds.Trips {
+		if people[tr.PersonID].HomeRegion != roadnet.DowntownRegion {
+			continue
+		}
+		switch cfg.PhaseOf(tr.Depart) {
+		case PhaseBefore:
+			downtownBefore++
+		case PhaseDuring:
+			downtownDuring++
+		}
+	}
+	if downtownBefore == 0 {
+		t.Fatal("no pre-disaster downtown trips")
+	}
+	dtBeforeRate := float64(downtownBefore) / beforeDays
+	dtDuringRate := float64(downtownDuring) / duringDays
+	if dtDuringRate >= dtBeforeRate*0.2 {
+		t.Errorf("flooded downtown trips did not collapse: before=%v/day during=%v/day", dtBeforeRate, dtDuringRate)
+	}
+}
+
+func TestGenerateTripsAreRoutable(t *testing.T) {
+	city, _, ds := genTestDataset(t)
+	g := city.Graph
+	for _, tr := range ds.Trips[:min(len(ds.Trips), 500)] {
+		if len(tr.Segs) == 0 {
+			t.Fatalf("trip with empty route: %+v", tr)
+		}
+		cur := tr.FromLM
+		for _, sid := range tr.Segs {
+			s := g.Segment(sid)
+			if s.From != cur {
+				t.Fatalf("trip route not contiguous: person %d", tr.PersonID)
+			}
+			cur = s.To
+		}
+		if cur != tr.ToLM {
+			t.Fatalf("trip route does not end at destination: person %d", tr.PersonID)
+		}
+		if !tr.Arrive.After(tr.Depart) {
+			t.Fatalf("trip with non-positive duration: person %d", tr.PersonID)
+		}
+	}
+}
+
+func TestGenerateRescues(t *testing.T) {
+	city, dis, ds := genTestDataset(t)
+	if len(ds.Rescues) == 0 {
+		t.Fatal("no rescues generated despite downtown flooding")
+	}
+	cfg := ds.Config
+	seen := make(map[int]bool)
+	for _, r := range ds.Rescues {
+		if seen[r.PersonID] {
+			t.Errorf("person %d rescued twice", r.PersonID)
+		}
+		seen[r.PersonID] = true
+		if r.RequestTime.Before(cfg.DisasterStart) || !r.RequestTime.Before(cfg.DisasterEnd) {
+			t.Errorf("rescue request at %v outside disaster window", r.RequestTime)
+		}
+		if !dis.InFloodZone(r.Pos, r.RequestTime) {
+			t.Errorf("rescue request outside flood zone at %v", r.Pos)
+		}
+		if !r.DeliveredAt.After(r.RequestTime) {
+			t.Errorf("delivery %v not after request %v", r.DeliveredAt, r.RequestTime)
+		}
+		if d := r.DeliveredAt.Sub(r.RequestTime); d < cfg.DeliverDelayMin || d > cfg.DeliverDelayMax {
+			t.Errorf("delivery delay %v outside [%v, %v]", d, cfg.DeliverDelayMin, cfg.DeliverDelayMax)
+		}
+		if r.Hospital == roadnet.NoLandmark {
+			t.Error("rescue without hospital")
+		}
+	}
+	// Most rescues should be downtown (the flooded region).
+	downtownCount := 0
+	for _, r := range ds.Rescues {
+		if city.RegionAt(r.Pos) == roadnet.DowntownRegion {
+			downtownCount++
+		}
+	}
+	if float64(downtownCount) < 0.7*float64(len(ds.Rescues)) {
+		t.Errorf("only %d/%d rescues downtown", downtownCount, len(ds.Rescues))
+	}
+}
+
+func TestGenerateGPSCadence(t *testing.T) {
+	_, _, ds := genTestDataset(t)
+	cfg := ds.Config
+	byPerson := make(map[int][]GPSPoint)
+	for _, p := range ds.Points {
+		byPerson[p.PersonID] = append(byPerson[p.PersonID], p)
+	}
+	if len(byPerson) != cfg.NumPeople {
+		t.Fatalf("points cover %d people, want %d", len(byPerson), cfg.NumPeople)
+	}
+	for id, pts := range byPerson {
+		for i := 1; i < len(pts); i++ {
+			gap := pts[i].Time.Sub(pts[i-1].Time)
+			if gap < cfg.SampleMin || gap > cfg.SampleMax {
+				t.Fatalf("person %d sample gap %v outside [%v, %v]", id, gap, cfg.SampleMin, cfg.SampleMax)
+			}
+		}
+		// Expect roughly Days*24h / mean-interval samples.
+		if len(pts) < 24*cfg.Days/4 {
+			t.Fatalf("person %d has only %d samples", id, len(pts))
+		}
+	}
+}
+
+func TestGenerateGPSPointsPlausible(t *testing.T) {
+	city, _, ds := genTestDataset(t)
+	box := city.Graph.BBox().Pad(3000)
+	for _, p := range ds.Points {
+		if !p.Pos.Valid() {
+			t.Fatalf("invalid GPS position %v", p.Pos)
+		}
+		if !box.Contains(p.Pos) {
+			t.Fatalf("GPS point far outside the city: %v", p.Pos)
+		}
+		if p.Altitude != 200 {
+			t.Fatalf("altitude should come from elev func, got %v", p.Altitude)
+		}
+		if p.SpeedMS < 0 || p.SpeedMS > 45 {
+			t.Fatalf("implausible speed %v", p.SpeedMS)
+		}
+	}
+}
+
+func TestGenerateRescuedPersonVisitsHospital(t *testing.T) {
+	city, _, ds := genTestDataset(t)
+	if len(ds.Rescues) == 0 {
+		t.Skip("no rescues in this seed")
+	}
+	r := ds.Rescues[0]
+	hPos := city.Graph.Landmark(r.Hospital).Pos
+	found := false
+	for _, p := range ds.Points {
+		if p.PersonID != r.PersonID {
+			continue
+		}
+		if p.Time.After(r.DeliveredAt) && p.Time.Before(r.DeliveredAt.Add(ds.Config.HospitalStay)) {
+			if geo.FastDistance(p.Pos, hPos) < 300 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("rescued person's trace never shows them at the hospital")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package mobility
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"mobirescue/internal/geo"
+	"mobirescue/internal/roadnet"
+)
+
+// gpsHeader is the CSV schema for GPS points, mirroring the fields the
+// paper's dataset records (anonymous ID, timestamp, position, altitude,
+// speed).
+var gpsHeader = []string{"person_id", "time", "lat", "lon", "altitude_m", "speed_ms"}
+
+// WritePointsCSV streams GPS points to w in CSV form.
+func WritePointsCSV(w io.Writer, points []GPSPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(gpsHeader); err != nil {
+		return fmt.Errorf("mobility: writing CSV header: %w", err)
+	}
+	row := make([]string, len(gpsHeader))
+	for _, p := range points {
+		row[0] = strconv.Itoa(p.PersonID)
+		row[1] = p.Time.UTC().Format(time.RFC3339)
+		row[2] = strconv.FormatFloat(p.Pos.Lat, 'f', 6, 64)
+		row[3] = strconv.FormatFloat(p.Pos.Lon, 'f', 6, 64)
+		row[4] = strconv.FormatFloat(p.Altitude, 'f', 2, 64)
+		row[5] = strconv.FormatFloat(p.SpeedMS, 'f', 2, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("mobility: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPointsCSV parses GPS points written by WritePointsCSV.
+func ReadPointsCSV(r io.Reader) ([]GPSPoint, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(gpsHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mobility: reading CSV header: %w", err)
+	}
+	for i, want := range gpsHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("mobility: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []GPSPoint
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mobility: reading CSV line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d person_id: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339, row[1])
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d time: %w", line, err)
+		}
+		vals := make([]float64, 4)
+		for i, col := range row[2:] {
+			v, err := strconv.ParseFloat(col, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mobility: line %d column %s: %w", line, gpsHeader[i+2], err)
+			}
+			vals[i] = v
+		}
+		out = append(out, GPSPoint{
+			PersonID: id,
+			Time:     ts,
+			Pos:      geo.Point{Lat: vals[0], Lon: vals[1]},
+			Altitude: vals[2],
+			SpeedMS:  vals[3],
+		})
+	}
+	return out, nil
+}
+
+// rescueWire is the JSON form of a RescueEvent.
+type rescueWire struct {
+	PersonID    int                `json:"person_id"`
+	RequestTime time.Time          `json:"request_time"`
+	Lat         float64            `json:"lat"`
+	Lon         float64            `json:"lon"`
+	Seg         roadnet.SegmentID  `json:"seg"`
+	Hospital    roadnet.LandmarkID `json:"hospital"`
+	DeliveredAt time.Time          `json:"delivered_at"`
+}
+
+// WriteRescuesJSON writes rescue ground truth as a JSON array.
+func WriteRescuesJSON(w io.Writer, rescues []RescueEvent) error {
+	wire := make([]rescueWire, len(rescues))
+	for i, r := range rescues {
+		wire[i] = rescueWire{
+			PersonID:    r.PersonID,
+			RequestTime: r.RequestTime,
+			Lat:         r.Pos.Lat,
+			Lon:         r.Pos.Lon,
+			Seg:         r.Seg,
+			Hospital:    r.Hospital,
+			DeliveredAt: r.DeliveredAt,
+		}
+	}
+	if err := json.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("mobility: encoding rescues: %w", err)
+	}
+	return nil
+}
+
+// ReadRescuesJSON parses rescue events written by WriteRescuesJSON.
+func ReadRescuesJSON(r io.Reader) ([]RescueEvent, error) {
+	var wire []rescueWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("mobility: decoding rescues: %w", err)
+	}
+	out := make([]RescueEvent, len(wire))
+	for i, w := range wire {
+		out[i] = RescueEvent{
+			PersonID:    w.PersonID,
+			RequestTime: w.RequestTime,
+			Pos:         geo.Point{Lat: w.Lat, Lon: w.Lon},
+			Seg:         w.Seg,
+			Hospital:    w.Hospital,
+			DeliveredAt: w.DeliveredAt,
+		}
+	}
+	return out, nil
+}

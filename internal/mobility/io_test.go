@@ -1,0 +1,133 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mobirescue/internal/geo"
+	"mobirescue/internal/roadnet"
+)
+
+func TestPointsCSVRoundTrip(t *testing.T) {
+	base := time.Date(2018, 9, 12, 8, 30, 0, 0, time.UTC)
+	points := []GPSPoint{
+		{PersonID: 1, Time: base, Pos: geo.Point{Lat: 35.227123, Lon: -80.843155}, Altitude: 201.5, SpeedMS: 0},
+		{PersonID: 1, Time: base.Add(time.Hour), Pos: geo.Point{Lat: 35.23, Lon: -80.85}, Altitude: 199.25, SpeedMS: 12.5},
+		{PersonID: 42, Time: base, Pos: geo.Point{Lat: 35.2, Lon: -80.8}, Altitude: 210, SpeedMS: 3.33},
+	}
+	var buf bytes.Buffer
+	if err := WritePointsCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPointsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(points) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(points))
+	}
+	for i := range points {
+		if got[i].PersonID != points[i].PersonID || !got[i].Time.Equal(points[i].Time) {
+			t.Errorf("row %d identity differs: %+v vs %+v", i, got[i], points[i])
+		}
+		if math.Abs(got[i].Pos.Lat-points[i].Pos.Lat) > 1e-6 ||
+			math.Abs(got[i].Pos.Lon-points[i].Pos.Lon) > 1e-6 {
+			t.Errorf("row %d position differs", i)
+		}
+		if math.Abs(got[i].Altitude-points[i].Altitude) > 0.01 ||
+			math.Abs(got[i].SpeedMS-points[i].SpeedMS) > 0.01 {
+			t.Errorf("row %d scalar fields differ", i)
+		}
+	}
+}
+
+func TestReadPointsCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f\n"},
+		{"bad id", "person_id,time,lat,lon,altitude_m,speed_ms\nx,2018-09-12T08:30:00Z,1,2,3,4\n"},
+		{"bad time", "person_id,time,lat,lon,altitude_m,speed_ms\n1,yesterday,1,2,3,4\n"},
+		{"bad float", "person_id,time,lat,lon,altitude_m,speed_ms\n1,2018-09-12T08:30:00Z,x,2,3,4\n"},
+		{"short row", "person_id,time,lat,lon,altitude_m,speed_ms\n1,2018-09-12T08:30:00Z,1,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadPointsCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRescuesJSONRoundTrip(t *testing.T) {
+	base := time.Date(2018, 9, 14, 3, 0, 0, 0, time.UTC)
+	rescues := []RescueEvent{
+		{
+			PersonID:    7,
+			RequestTime: base,
+			Pos:         geo.Point{Lat: 35.21, Lon: -80.82},
+			Seg:         roadnet.SegmentID(12),
+			Hospital:    roadnet.LandmarkID(3),
+			DeliveredAt: base.Add(2 * time.Hour),
+		},
+		{
+			PersonID:    9,
+			RequestTime: base.Add(time.Hour),
+			Pos:         geo.Point{Lat: 35.25, Lon: -80.86},
+			Seg:         roadnet.SegmentID(99),
+			Hospital:    roadnet.LandmarkID(5),
+			DeliveredAt: base.Add(4 * time.Hour),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteRescuesJSON(&buf, rescues); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRescuesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rescues) {
+		t.Fatalf("round trip length %d", len(got))
+	}
+	for i := range rescues {
+		if got[i].PersonID != rescues[i].PersonID ||
+			!got[i].RequestTime.Equal(rescues[i].RequestTime) ||
+			got[i].Seg != rescues[i].Seg ||
+			got[i].Hospital != rescues[i].Hospital ||
+			!got[i].DeliveredAt.Equal(rescues[i].DeliveredAt) {
+			t.Errorf("rescue %d differs: %+v vs %+v", i, got[i], rescues[i])
+		}
+		if math.Abs(got[i].Pos.Lat-rescues[i].Pos.Lat) > 1e-9 {
+			t.Errorf("rescue %d position differs", i)
+		}
+	}
+}
+
+func TestReadRescuesJSONErrors(t *testing.T) {
+	if _, err := ReadRescuesJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestGeneratedDatasetCSVRoundTrip(t *testing.T) {
+	_, _, ds := genTestDataset(t)
+	var buf bytes.Buffer
+	subset := ds.Points[:min(len(ds.Points), 2000)]
+	if err := WritePointsCSV(&buf, subset); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPointsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subset) {
+		t.Fatalf("length %d, want %d", len(got), len(subset))
+	}
+}

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netWire is the serialized form of a Network.
+type netWire struct {
+	Sizes  []int
+	Acts   []Act // per layer
+	Params []float64
+}
+
+// Save writes the network to w in gob format.
+func (n *Network) Save(w io.Writer) error {
+	acts := make([]Act, len(n.layers))
+	for i, ll := range n.layers {
+		acts[i] = ll.act
+	}
+	wire := netWire{Sizes: n.sizes, Acts: acts, Params: n.params}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("nn: encoding network: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var wire netWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	if len(wire.Sizes) < 2 || len(wire.Acts) != len(wire.Sizes)-1 {
+		return nil, fmt.Errorf("nn: corrupt network: %d sizes, %d acts", len(wire.Sizes), len(wire.Acts))
+	}
+	// Rebuild layout via New, then overwrite activations and params.
+	n, err := New(0, wire.Sizes, ActReLU, ActLinear)
+	if err != nil {
+		return nil, err
+	}
+	for i := range n.layers {
+		n.layers[i].act = wire.Acts[i]
+	}
+	if len(wire.Params) != len(n.params) {
+		return nil, fmt.Errorf("nn: corrupt network: %d params, want %d", len(wire.Params), len(n.params))
+	}
+	copy(n.params, wire.Params)
+	return n, nil
+}

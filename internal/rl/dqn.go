@@ -1,0 +1,227 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mobirescue/internal/nn"
+)
+
+// DQNConfig tunes the deep Q-learning agent.
+type DQNConfig struct {
+	// Hidden lists hidden-layer sizes for the Q-network.
+	Hidden []int
+	// Gamma is the discount factor.
+	Gamma float64
+	// LR is the Adam learning rate.
+	LR float64
+	// EpsilonStart/End and EpsilonDecaySteps schedule exploration:
+	// epsilon anneals linearly over the first EpsilonDecaySteps
+	// environment steps.
+	EpsilonStart, EpsilonEnd float64
+	EpsilonDecaySteps        int
+	// BufferSize and BatchSize configure experience replay.
+	BufferSize, BatchSize int
+	// LearnStart delays learning until the buffer holds this many
+	// transitions.
+	LearnStart int
+	// TargetSync is the number of learning steps between target-network
+	// syncs.
+	TargetSync int
+	// GradClip bounds the gradient L2 norm (0 disables clipping).
+	GradClip float64
+	// Seed drives exploration and initialization.
+	Seed int64
+}
+
+// DefaultDQNConfig returns standard hyperparameters sized for the
+// dispatch problem.
+func DefaultDQNConfig() DQNConfig {
+	return DQNConfig{
+		Hidden:            []int{64, 64},
+		Gamma:             0.95,
+		LR:                1e-3,
+		EpsilonStart:      1.0,
+		EpsilonEnd:        0.05,
+		EpsilonDecaySteps: 5000,
+		BufferSize:        20000,
+		BatchSize:         32,
+		LearnStart:        500,
+		TargetSync:        250,
+		GradClip:          5,
+		Seed:              1,
+	}
+}
+
+// DQN is a deep Q-learning agent with a target network and uniform
+// experience replay. It is not safe for concurrent use.
+type DQN struct {
+	cfg     DQNConfig
+	online  *nn.Network
+	target  *nn.Network
+	opt     *nn.Adam
+	replay  *Replay
+	rng     *rand.Rand
+	grad    []float64
+	batch   []Transition
+	steps   int // environment steps observed
+	learnN  int // learning steps taken
+	nAction int
+}
+
+// NewDQN builds an agent for the given state/action sizes.
+func NewDQN(stateSize, numActions int, cfg DQNConfig) (*DQN, error) {
+	if stateSize <= 0 || numActions <= 0 {
+		return nil, fmt.Errorf("rl: invalid sizes state=%d actions=%d", stateSize, numActions)
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("rl: gamma %v out of [0,1)", cfg.Gamma)
+	}
+	if cfg.BatchSize <= 0 || cfg.BufferSize < cfg.BatchSize {
+		return nil, fmt.Errorf("rl: buffer %d must hold at least one batch of %d", cfg.BufferSize, cfg.BatchSize)
+	}
+	sizes := append([]int{stateSize}, cfg.Hidden...)
+	sizes = append(sizes, numActions)
+	online, err := nn.New(cfg.Seed, sizes, nn.ActReLU, nn.ActLinear)
+	if err != nil {
+		return nil, err
+	}
+	return &DQN{
+		cfg:     cfg,
+		online:  online,
+		target:  online.Clone(),
+		opt:     nn.NewAdam(cfg.LR),
+		replay:  NewReplay(cfg.BufferSize),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		grad:    make([]float64, online.NumParams()),
+		nAction: numActions,
+	}, nil
+}
+
+// Epsilon returns the current exploration rate.
+func (d *DQN) Epsilon() float64 {
+	if d.cfg.EpsilonDecaySteps <= 0 {
+		return d.cfg.EpsilonEnd
+	}
+	frac := float64(d.steps) / float64(d.cfg.EpsilonDecaySteps)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.cfg.EpsilonStart + (d.cfg.EpsilonEnd-d.cfg.EpsilonStart)*frac
+}
+
+// QValues returns the online network's action values for state.
+func (d *DQN) QValues(state []float64) []float64 { return d.online.Forward(state) }
+
+// SelectAction picks an epsilon-greedy action under the optional validity
+// mask. It returns -1 when no action is valid.
+func (d *DQN) SelectAction(state []float64, mask []bool) int {
+	if d.rng.Float64() < d.Epsilon() {
+		return randValid(d.rng, d.nAction, mask)
+	}
+	return argmaxMasked(d.online.Forward(state), mask)
+}
+
+// Greedy picks the best action without exploration.
+func (d *DQN) Greedy(state []float64, mask []bool) int {
+	return argmaxMasked(d.online.Forward(state), mask)
+}
+
+// Observe records a transition and performs one learning step when
+// enough experience has accumulated.
+func (d *DQN) Observe(t Transition) {
+	d.replay.Add(t)
+	d.steps++
+	if d.replay.Len() >= d.cfg.LearnStart && d.replay.Len() >= d.cfg.BatchSize {
+		d.learn()
+	}
+}
+
+// learn samples a minibatch and applies one Q-learning gradient step.
+func (d *DQN) learn() {
+	d.batch = d.replay.Sample(d.rng, d.cfg.BatchSize, d.batch)
+	nn.Zero(d.grad)
+	dOut := make([]float64, d.nAction)
+	for _, tr := range d.batch {
+		target := tr.Reward
+		if !tr.Done {
+			nextQ := d.target.Forward(tr.NextState)
+			target += d.cfg.Gamma * maxMasked(nextQ, tr.NextMask)
+		}
+		q := d.online.Forward(tr.State)
+		for i := range dOut {
+			dOut[i] = 0
+		}
+		// Squared TD error on the taken action only.
+		dOut[tr.Action] = 2 * (q[tr.Action] - target)
+		d.online.Gradient(tr.State, dOut, d.grad)
+	}
+	nn.Scale(d.grad, 1.0/float64(len(d.batch)))
+	nn.ClipGradient(d.grad, d.cfg.GradClip)
+	d.opt.Step(d.online.Params(), d.grad)
+	d.learnN++
+	if d.cfg.TargetSync > 0 && d.learnN%d.cfg.TargetSync == 0 {
+		d.target.SetParams(d.online.Params())
+	}
+}
+
+// TrainEpisodes runs the agent in env for the given number of episodes
+// and returns each episode's total reward. maxSteps bounds episode
+// length (0 means 10000).
+func (d *DQN) TrainEpisodes(env Environment, episodes, maxSteps int) []float64 {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	returns := make([]float64, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		state := env.Reset()
+		total := 0.0
+		for step := 0; step < maxSteps; step++ {
+			mask := maskOf(env)
+			a := d.SelectAction(state, mask)
+			if a < 0 {
+				break // nothing valid to do
+			}
+			next, reward, done := env.Step(a)
+			total += reward
+			d.Observe(Transition{
+				State:     state,
+				Action:    a,
+				Reward:    reward,
+				NextState: next,
+				Done:      done,
+				NextMask:  maskOf(env),
+			})
+			state = next
+			if done {
+				break
+			}
+		}
+		returns = append(returns, total)
+	}
+	return returns
+}
+
+// Save writes the online network (the policy) to w.
+func (d *DQN) Save(w io.Writer) error { return d.online.Save(w) }
+
+// LoadPolicy replaces the online and target networks with one written by
+// Save.
+func (d *DQN) LoadPolicy(r io.Reader) error {
+	net, err := nn.Load(r)
+	if err != nil {
+		return err
+	}
+	if net.InputSize() != d.online.InputSize() || net.OutputSize() != d.online.OutputSize() {
+		return fmt.Errorf("rl: loaded network shape %dx%d does not match agent %dx%d",
+			net.InputSize(), net.OutputSize(), d.online.InputSize(), d.online.OutputSize())
+	}
+	d.online = net
+	d.target = net.Clone()
+	d.grad = make([]float64, net.NumParams())
+	return nil
+}
+
+// Steps returns the number of transitions observed.
+func (d *DQN) Steps() int { return d.steps }

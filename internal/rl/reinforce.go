@@ -1,0 +1,240 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobirescue/internal/nn"
+)
+
+// ReinforceConfig tunes the policy-gradient agent.
+type ReinforceConfig struct {
+	// Hidden lists hidden-layer sizes for policy and baseline networks.
+	Hidden []int
+	// Gamma is the discount factor.
+	Gamma float64
+	// PolicyLR and BaselineLR are Adam learning rates.
+	PolicyLR, BaselineLR float64
+	// EntropyBonus weights an entropy regularizer encouraging
+	// exploration.
+	EntropyBonus float64
+	// GradClip bounds gradient norms (0 disables).
+	GradClip float64
+	// Seed drives sampling and initialization.
+	Seed int64
+}
+
+// DefaultReinforceConfig returns standard hyperparameters.
+func DefaultReinforceConfig() ReinforceConfig {
+	return ReinforceConfig{
+		Hidden:       []int{64},
+		Gamma:        0.95,
+		PolicyLR:     5e-3,
+		BaselineLR:   1e-2,
+		EntropyBonus: 1e-2,
+		GradClip:     5,
+		Seed:         1,
+	}
+}
+
+// Reinforce is a REINFORCE agent with a learned value baseline. It is not
+// safe for concurrent use.
+type Reinforce struct {
+	cfg      ReinforceConfig
+	policy   *nn.Network // outputs logits
+	baseline *nn.Network // outputs V(s)
+	pOpt     *nn.Adam
+	bOpt     *nn.Adam
+	pGrad    []float64
+	bGrad    []float64
+	rng      *rand.Rand
+	nAction  int
+}
+
+// NewReinforce builds a policy-gradient agent.
+func NewReinforce(stateSize, numActions int, cfg ReinforceConfig) (*Reinforce, error) {
+	if stateSize <= 0 || numActions <= 0 {
+		return nil, fmt.Errorf("rl: invalid sizes state=%d actions=%d", stateSize, numActions)
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("rl: gamma %v out of [0,1)", cfg.Gamma)
+	}
+	pSizes := append([]int{stateSize}, cfg.Hidden...)
+	pSizes = append(pSizes, numActions)
+	policy, err := nn.New(cfg.Seed, pSizes, nn.ActTanh, nn.ActLinear)
+	if err != nil {
+		return nil, err
+	}
+	bSizes := append([]int{stateSize}, cfg.Hidden...)
+	bSizes = append(bSizes, 1)
+	baseline, err := nn.New(cfg.Seed+1, bSizes, nn.ActTanh, nn.ActLinear)
+	if err != nil {
+		return nil, err
+	}
+	return &Reinforce{
+		cfg:      cfg,
+		policy:   policy,
+		baseline: baseline,
+		pOpt:     nn.NewAdam(cfg.PolicyLR),
+		bOpt:     nn.NewAdam(cfg.BaselineLR),
+		pGrad:    make([]float64, policy.NumParams()),
+		bGrad:    make([]float64, baseline.NumParams()),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nAction:  numActions,
+	}, nil
+}
+
+// softmaxMasked returns masked softmax probabilities over logits.
+func softmaxMasked(logits []float64, mask []bool) []float64 {
+	probs := make([]float64, len(logits))
+	maxL := math.Inf(-1)
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if math.IsInf(maxL, -1) {
+		return probs // nothing valid
+	}
+	sum := 0.0
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		probs[i] = math.Exp(l - maxL)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// SelectAction samples from the masked policy distribution, returning -1
+// when no action is valid.
+func (r *Reinforce) SelectAction(state []float64, mask []bool) int {
+	probs := softmaxMasked(r.policy.Forward(state), mask)
+	x := r.rng.Float64()
+	for i, p := range probs {
+		x -= p
+		if p > 0 && x <= 0 {
+			return i
+		}
+	}
+	// Numerical leftovers: return the last valid action.
+	for i := len(probs) - 1; i >= 0; i-- {
+		if probs[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Greedy returns the most probable action.
+func (r *Reinforce) Greedy(state []float64, mask []bool) int {
+	return argmaxMasked(r.policy.Forward(state), mask)
+}
+
+// Step is one step of an episode trajectory. Callers that drive their
+// own environment loop (e.g. the dispatch simulator) collect Steps and
+// apply them with UpdateTrajectory.
+type Step struct {
+	State  []float64
+	Action int
+	Reward float64
+	Mask   []bool
+}
+
+// TrainEpisodes runs env for the given episodes, updating the policy
+// after each one, and returns per-episode returns. maxSteps bounds
+// episode length (0 means 10000).
+func (r *Reinforce) TrainEpisodes(env Environment, episodes, maxSteps int) []float64 {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	returns := make([]float64, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		state := env.Reset()
+		var traj []Step
+		total := 0.0
+		for st := 0; st < maxSteps; st++ {
+			mask := maskOf(env)
+			a := r.SelectAction(state, mask)
+			if a < 0 {
+				break
+			}
+			next, reward, done := env.Step(a)
+			traj = append(traj, Step{State: state, Action: a, Reward: reward, Mask: mask})
+			total += reward
+			state = next
+			if done {
+				break
+			}
+		}
+		r.UpdateTrajectory(traj)
+		returns = append(returns, total)
+	}
+	return returns
+}
+
+// UpdateTrajectory applies one REINFORCE-with-baseline gradient step
+// from an externally collected trajectory.
+func (r *Reinforce) UpdateTrajectory(traj []Step) {
+	if len(traj) == 0 {
+		return
+	}
+	// Discounted returns-to-go.
+	g := make([]float64, len(traj))
+	run := 0.0
+	for i := len(traj) - 1; i >= 0; i-- {
+		run = traj[i].Reward + r.cfg.Gamma*run
+		g[i] = run
+	}
+	nn.Zero(r.pGrad)
+	nn.Zero(r.bGrad)
+	for i, s := range traj {
+		v := r.baseline.Forward(s.State)[0]
+		adv := g[i] - v
+
+		// Baseline regression toward the return.
+		bdOut := []float64{2 * (v - g[i])}
+		r.baseline.Gradient(s.State, bdOut, r.bGrad)
+
+		// Policy gradient: d(-adv * log pi(a|s))/dlogits = adv*(p - onehot),
+		// plus entropy bonus d(-H)/dlogits = p*(log p + H).
+		logits := r.policy.Forward(s.State)
+		probs := softmaxMasked(logits, s.Mask)
+		ent := 0.0
+		for _, p := range probs {
+			if p > 0 {
+				ent -= p * math.Log(p)
+			}
+		}
+		dOut := make([]float64, len(logits))
+		for j := range dOut {
+			if probs[j] == 0 && j != s.Action {
+				continue
+			}
+			onehot := 0.0
+			if j == s.Action {
+				onehot = 1
+			}
+			dOut[j] = adv * (probs[j] - onehot)
+			if probs[j] > 0 {
+				dOut[j] += r.cfg.EntropyBonus * probs[j] * (math.Log(probs[j]) + ent)
+			}
+		}
+		r.policy.Gradient(s.State, dOut, r.pGrad)
+	}
+	inv := 1.0 / float64(len(traj))
+	nn.Scale(r.pGrad, inv)
+	nn.Scale(r.bGrad, inv)
+	nn.ClipGradient(r.pGrad, r.cfg.GradClip)
+	nn.ClipGradient(r.bGrad, r.cfg.GradClip)
+	r.pOpt.Step(r.policy.Params(), r.pGrad)
+	r.bOpt.Step(r.baseline.Params(), r.bGrad)
+}

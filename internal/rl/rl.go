@@ -1,0 +1,149 @@
+// Package rl provides the reinforcement-learning machinery behind
+// MobiRescue's dispatcher (Section IV-C): an episodic MDP interface, a
+// uniform replay buffer, a DQN agent (epsilon-greedy exploration, target
+// network, Adam), and a REINFORCE-with-baseline policy-gradient agent.
+// The DNN function approximators come from internal/nn, mirroring the
+// paper's use of a Pensieve-style deep network [24].
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Environment is an episodic Markov decision process with a fixed
+// discrete action space.
+type Environment interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() []float64
+	// Step applies an action, returning the next state, the reward, and
+	// whether the episode ended.
+	Step(action int) (next []float64, reward float64, done bool)
+	// StateSize is the state vector length.
+	StateSize() int
+	// NumActions is the size of the discrete action space.
+	NumActions() int
+}
+
+// ActionMasker is an optional Environment extension restricting which
+// actions are valid in the current state (e.g. unreachable destination
+// zones). A nil mask means every action is valid.
+type ActionMasker interface {
+	ValidActions() []bool
+}
+
+// Transition is one (s, a, r, s', done) experience.
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64
+	Done      bool
+	NextMask  []bool // valid actions in NextState; nil = all
+}
+
+// Replay is a fixed-capacity ring buffer of transitions with uniform
+// sampling. The zero value is not usable; construct with NewReplay.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay returns a replay buffer holding up to capacity transitions.
+// It panics when capacity is not positive, which indicates programmer
+// error.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity %d must be positive", capacity))
+	}
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the buffer capacity.
+func (r *Replay) Cap() int { return len(r.buf) }
+
+// Add stores a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Sample draws n transitions uniformly with replacement into dst (reused
+// when cap allows) and returns it. It returns nil when the buffer is
+// empty.
+func (r *Replay) Sample(rng *rand.Rand, n int, dst []Transition) []Transition {
+	sz := r.Len()
+	if sz == 0 || n <= 0 {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]Transition, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[rng.Intn(sz)]
+	}
+	return dst
+}
+
+// argmaxMasked returns the index of the largest value among valid
+// entries. A nil mask admits all. It returns -1 when nothing is valid.
+func argmaxMasked(vals []float64, mask []bool) int {
+	best := -1
+	for i, v := range vals {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if best == -1 || v > vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// maxMasked returns the largest valid value, or 0 when nothing is valid.
+func maxMasked(vals []float64, mask []bool) float64 {
+	i := argmaxMasked(vals, mask)
+	if i < 0 {
+		return 0
+	}
+	return vals[i]
+}
+
+// randValid picks a uniformly random valid action, or -1 when none is.
+func randValid(rng *rand.Rand, n int, mask []bool) int {
+	if mask == nil {
+		return rng.Intn(n)
+	}
+	var valid []int
+	for i := 0; i < n && i < len(mask); i++ {
+		if mask[i] {
+			valid = append(valid, i)
+		}
+	}
+	if len(valid) == 0 {
+		return -1
+	}
+	return valid[rng.Intn(len(valid))]
+}
+
+// maskOf returns env's action mask when it implements ActionMasker.
+func maskOf(env Environment) []bool {
+	if m, ok := env.(ActionMasker); ok {
+		return m.ValidActions()
+	}
+	return nil
+}

@@ -1,0 +1,439 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReplayBasics(t *testing.T) {
+	r := NewReplay(3)
+	if r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh buffer Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{Action: i})
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len after overflow = %d, want 3", r.Len())
+	}
+	// Oldest (0, 1) evicted: remaining actions are 2, 3, 4.
+	seen := make(map[int]bool)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		for _, tr := range r.Sample(rng, 4, nil) {
+			seen[tr.Action] = true
+		}
+	}
+	for _, a := range []int{2, 3, 4} {
+		if !seen[a] {
+			t.Errorf("action %d never sampled", a)
+		}
+	}
+	for _, a := range []int{0, 1} {
+		if seen[a] {
+			t.Errorf("evicted action %d sampled", a)
+		}
+	}
+}
+
+func TestReplayEmptySample(t *testing.T) {
+	r := NewReplay(4)
+	rng := rand.New(rand.NewSource(1))
+	if got := r.Sample(rng, 2, nil); got != nil {
+		t.Errorf("empty sample = %v", got)
+	}
+	r.Add(Transition{})
+	if got := r.Sample(rng, 0, nil); got != nil {
+		t.Errorf("n=0 sample = %v", got)
+	}
+}
+
+func TestReplayPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReplay(0)
+}
+
+func TestArgmaxMasked(t *testing.T) {
+	vals := []float64{1, 5, 3}
+	tests := []struct {
+		name string
+		mask []bool
+		want int
+	}{
+		{"nil mask", nil, 1},
+		{"best masked out", []bool{true, false, true}, 2},
+		{"single valid", []bool{true, false, false}, 0},
+		{"none valid", []bool{false, false, false}, -1},
+	}
+	for _, tt := range tests {
+		if got := argmaxMasked(vals, tt.mask); got != tt.want {
+			t.Errorf("%s: argmaxMasked = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+	if got := maxMasked(vals, nil); got != 5 {
+		t.Errorf("maxMasked = %v", got)
+	}
+	if got := maxMasked(vals, []bool{false, false, false}); got != 0 {
+		t.Errorf("maxMasked none valid = %v", got)
+	}
+}
+
+func TestRandValidRespectsMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mask := []bool{false, true, false, true}
+	for i := 0; i < 100; i++ {
+		a := randValid(rng, 4, mask)
+		if a != 1 && a != 3 {
+			t.Fatalf("invalid action %d selected", a)
+		}
+	}
+	if a := randValid(rng, 4, []bool{false, false, false, false}); a != -1 {
+		t.Errorf("no-valid should return -1, got %d", a)
+	}
+	// nil mask: uniform over all.
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[randValid(rng, 3, nil)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("nil mask should reach all actions, saw %v", seen)
+	}
+}
+
+func TestSoftmaxMasked(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	p := softmaxMasked(logits, nil)
+	sum := 0.0
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			t.Error("softmax should be increasing with logits")
+		}
+	}
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	// Masked entries get zero probability.
+	pm := softmaxMasked(logits, []bool{true, false, true})
+	if pm[1] != 0 {
+		t.Errorf("masked prob = %v", pm[1])
+	}
+	if math.Abs(pm[0]+pm[2]-1) > 1e-12 {
+		t.Errorf("masked probs sum to %v", pm[0]+pm[2])
+	}
+	// All masked: all zeros.
+	for _, v := range softmaxMasked(logits, []bool{false, false, false}) {
+		if v != 0 {
+			t.Error("fully masked softmax should be zeros")
+		}
+	}
+	// Large logits must not overflow.
+	big := softmaxMasked([]float64{1000, 1001}, nil)
+	if math.IsNaN(big[0]) || math.IsNaN(big[1]) {
+		t.Error("softmax overflowed")
+	}
+}
+
+// chainEnv is a 1-D corridor: start at cell 0, reward 1 for reaching the
+// right end, -0.01 per step, episode capped by the caller. Action 0 =
+// left, 1 = right.
+type chainEnv struct {
+	n   int
+	pos int
+}
+
+func (e *chainEnv) Reset() []float64 { e.pos = 0; return e.state() }
+func (e *chainEnv) state() []float64 {
+	s := make([]float64, e.n)
+	s[e.pos] = 1
+	return s
+}
+func (e *chainEnv) Step(a int) ([]float64, float64, bool) {
+	if a == 1 {
+		e.pos++
+	} else if e.pos > 0 {
+		e.pos--
+	}
+	if e.pos == e.n-1 {
+		return e.state(), 1, true
+	}
+	return e.state(), -0.01, false
+}
+func (e *chainEnv) StateSize() int  { return e.n }
+func (e *chainEnv) NumActions() int { return 2 }
+
+func TestDQNConfigValidation(t *testing.T) {
+	cfg := DefaultDQNConfig()
+	if _, err := NewDQN(0, 2, cfg); err == nil {
+		t.Error("zero state size should error")
+	}
+	if _, err := NewDQN(2, 0, cfg); err == nil {
+		t.Error("zero actions should error")
+	}
+	bad := cfg
+	bad.Gamma = 1.0
+	if _, err := NewDQN(2, 2, bad); err == nil {
+		t.Error("gamma=1 should error")
+	}
+	bad = cfg
+	bad.BufferSize = 1
+	if _, err := NewDQN(2, 2, bad); err == nil {
+		t.Error("buffer smaller than batch should error")
+	}
+}
+
+func TestDQNEpsilonDecay(t *testing.T) {
+	cfg := DefaultDQNConfig()
+	cfg.EpsilonStart, cfg.EpsilonEnd, cfg.EpsilonDecaySteps = 1.0, 0.1, 100
+	d, err := NewDQN(2, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Epsilon(); got != 1.0 {
+		t.Errorf("initial epsilon = %v", got)
+	}
+	d.steps = 50
+	if got := d.Epsilon(); math.Abs(got-0.55) > 1e-12 {
+		t.Errorf("mid epsilon = %v, want 0.55", got)
+	}
+	d.steps = 1000
+	if got := d.Epsilon(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("final epsilon = %v", got)
+	}
+}
+
+func TestDQNSolvesChain(t *testing.T) {
+	env := &chainEnv{n: 6}
+	cfg := DefaultDQNConfig()
+	cfg.Hidden = []int{32}
+	cfg.EpsilonDecaySteps = 1500
+	cfg.LearnStart = 100
+	cfg.TargetSync = 100
+	cfg.Seed = 7
+	d, err := NewDQN(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returns := d.TrainEpisodes(env, 120, 100)
+	// Later episodes should beat early ones.
+	early := mean(returns[:20])
+	late := mean(returns[len(returns)-20:])
+	if late <= early {
+		t.Errorf("no learning: early=%v late=%v", early, late)
+	}
+	// The greedy policy should walk straight right from every cell.
+	for pos := 0; pos < env.n-1; pos++ {
+		env.pos = pos
+		if a := d.Greedy(env.state(), nil); a != 1 {
+			t.Errorf("greedy action at cell %d = %d, want 1 (right)", pos, a)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// maskedEnv wraps chainEnv forbidding action 0 (left) always.
+type maskedEnv struct{ chainEnv }
+
+func (e *maskedEnv) ValidActions() []bool { return []bool{false, true} }
+
+func TestDQNRespectsMask(t *testing.T) {
+	env := &maskedEnv{chainEnv{n: 4}}
+	cfg := DefaultDQNConfig()
+	cfg.Seed = 3
+	d, err := NewDQN(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := env.Reset()
+	for i := 0; i < 200; i++ {
+		if a := d.SelectAction(state, env.ValidActions()); a != 1 {
+			t.Fatalf("masked action %d selected", a)
+		}
+	}
+}
+
+func TestDQNSaveLoadPolicy(t *testing.T) {
+	cfg := DefaultDQNConfig()
+	d, err := NewDQN(3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDQN(3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.LoadPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0.1, 0.2, 0.3}
+	qa, qb := d.QValues(state), d2.QValues(state)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("Q values differ after load: %v vs %v", qa, qb)
+		}
+	}
+	// Shape mismatch rejected.
+	var buf2 bytes.Buffer
+	if err := d.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := NewDQN(4, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d3.LoadPolicy(&buf2); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestReinforceConfigValidation(t *testing.T) {
+	cfg := DefaultReinforceConfig()
+	if _, err := NewReinforce(0, 2, cfg); err == nil {
+		t.Error("zero state size should error")
+	}
+	bad := cfg
+	bad.Gamma = 1
+	if _, err := NewReinforce(2, 2, bad); err == nil {
+		t.Error("gamma=1 should error")
+	}
+}
+
+// banditEnv: single state, 3 arms with different rewards, one-step
+// episodes. The policy should concentrate on the best arm.
+type banditEnv struct{ rewards []float64 }
+
+func (e *banditEnv) Reset() []float64 { return []float64{1} }
+func (e *banditEnv) Step(a int) ([]float64, float64, bool) {
+	return []float64{1}, e.rewards[a], true
+}
+func (e *banditEnv) StateSize() int  { return 1 }
+func (e *banditEnv) NumActions() int { return len(e.rewards) }
+
+func TestReinforceSolvesBandit(t *testing.T) {
+	env := &banditEnv{rewards: []float64{0.1, 1.0, 0.3}}
+	cfg := DefaultReinforceConfig()
+	cfg.Seed = 11
+	r, err := NewReinforce(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TrainEpisodes(env, 800, 10)
+	if a := r.Greedy([]float64{1}, nil); a != 1 {
+		t.Errorf("greedy arm = %d, want 1", a)
+	}
+	// The best arm should dominate the sampled distribution too.
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		counts[r.SelectAction([]float64{1}, nil)]++
+	}
+	if counts[1] < 200 {
+		t.Errorf("arm distribution %v should favor arm 1", counts)
+	}
+}
+
+func TestReinforceSolvesChain(t *testing.T) {
+	env := &chainEnv{n: 5}
+	cfg := DefaultReinforceConfig()
+	cfg.Seed = 13
+	r, err := NewReinforce(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returns := r.TrainEpisodes(env, 400, 60)
+	early := mean(returns[:40])
+	late := mean(returns[len(returns)-40:])
+	if late <= early {
+		t.Errorf("no learning: early=%v late=%v", early, late)
+	}
+}
+
+func TestReinforceRespectsMask(t *testing.T) {
+	env := &maskedEnv{chainEnv{n: 4}}
+	cfg := DefaultReinforceConfig()
+	r, err := NewReinforce(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := env.Reset()
+	for i := 0; i < 200; i++ {
+		if a := r.SelectAction(state, env.ValidActions()); a != 1 {
+			t.Fatalf("masked action %d sampled", a)
+		}
+	}
+}
+
+func BenchmarkDQNInference(b *testing.B) {
+	cfg := DefaultDQNConfig()
+	d, err := NewDQN(128, 16, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Greedy(state, nil)
+	}
+}
+
+func BenchmarkDQNLearnStep(b *testing.B) {
+	env := &chainEnv{n: 8}
+	cfg := DefaultDQNConfig()
+	cfg.LearnStart = 10
+	d, err := NewDQN(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := env.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := d.SelectAction(state, nil)
+		next, reward, done := env.Step(a)
+		d.Observe(Transition{State: state, Action: a, Reward: reward, NextState: next, Done: done})
+		state = next
+		if done {
+			state = env.Reset()
+		}
+	}
+}
+
+func TestReinforceUpdateTrajectoryExternal(t *testing.T) {
+	// Drive the bandit with an externally collected trajectory, the way
+	// the dispatch simulator feeds the policy-gradient learner.
+	env := &banditEnv{rewards: []float64{0.0, 1.0}}
+	cfg := DefaultReinforceConfig()
+	cfg.Seed = 21
+	r, err := NewReinforce(env.StateSize(), env.NumActions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{1}
+	for ep := 0; ep < 500; ep++ {
+		a := r.SelectAction(state, nil)
+		_, reward, _ := env.Step(a)
+		r.UpdateTrajectory([]Step{{State: state, Action: a, Reward: reward}})
+	}
+	if got := r.Greedy(state, nil); got != 1 {
+		t.Errorf("externally trained greedy arm = %d, want 1", got)
+	}
+	// Empty trajectories are a no-op.
+	r.UpdateTrajectory(nil)
+}

@@ -1,0 +1,238 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// CostModel assigns a traversal time to each segment and reports whether
+// the segment is currently open. The flood package provides a cost model
+// reflecting the surviving network Ẽ; FreeFlow ignores the disaster.
+type CostModel interface {
+	// SegmentTime returns the traversal time in seconds and whether the
+	// segment is drivable.
+	SegmentTime(s Segment) (seconds float64, open bool)
+}
+
+// FreeFlow is the disaster-free cost model: every segment is open at its
+// speed limit.
+type FreeFlow struct{}
+
+var _ CostModel = FreeFlow{}
+
+// SegmentTime implements CostModel.
+func (FreeFlow) SegmentTime(s Segment) (float64, bool) { return s.FreeFlowTime(), true }
+
+// Router computes time-shortest routes over a graph under a cost model.
+// A Router is safe for concurrent use.
+type Router struct {
+	g    *Graph
+	cost CostModel
+}
+
+// NewRouter returns a Router over g using cost. A nil cost defaults to
+// FreeFlow.
+func NewRouter(g *Graph, cost CostModel) *Router {
+	if cost == nil {
+		cost = FreeFlow{}
+	}
+	return &Router{g: g, cost: cost}
+}
+
+// Graph returns the underlying graph.
+func (r *Router) Graph() *Graph { return r.g }
+
+// Tree is a single-source shortest-path tree produced by Router.Tree.
+type Tree struct {
+	g       *Graph
+	Source  LandmarkID
+	dist    []float64
+	prevSeg []SegmentID
+}
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	lm   LandmarkID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Tree runs Dijkstra from src and returns the full shortest-path tree.
+func (r *Router) Tree(src LandmarkID) *Tree {
+	n := r.g.NumLandmarks()
+	t := &Tree{
+		g:       r.g,
+		Source:  src,
+		dist:    make([]float64, n),
+		prevSeg: make([]SegmentID, n),
+	}
+	for i := range t.dist {
+		t.dist[i] = math.Inf(1)
+		t.prevSeg[i] = NoSegment
+	}
+	if !r.g.validLandmark(src) {
+		return t
+	}
+	t.dist[src] = 0
+	q := pq{{lm: src, dist: 0}}
+	for len(q) > 0 {
+		item := heap.Pop(&q).(pqItem)
+		if item.dist > t.dist[item.lm] {
+			continue // stale entry
+		}
+		for _, sid := range r.g.Out(item.lm) {
+			seg := r.g.Segment(sid)
+			w, open := r.cost.SegmentTime(seg)
+			if !open || math.IsInf(w, 1) {
+				continue
+			}
+			nd := item.dist + w
+			if nd < t.dist[seg.To] {
+				t.dist[seg.To] = nd
+				t.prevSeg[seg.To] = sid
+				heap.Push(&q, pqItem{lm: seg.To, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// TimeTo returns the travel time in seconds from the tree source to lm,
+// or +Inf when unreachable.
+func (t *Tree) TimeTo(lm LandmarkID) float64 {
+	if lm < 0 || int(lm) >= len(t.dist) {
+		return math.Inf(1)
+	}
+	return t.dist[lm]
+}
+
+// Reachable reports whether lm can be reached from the source.
+func (t *Tree) Reachable(lm LandmarkID) bool { return !math.IsInf(t.TimeTo(lm), 1) }
+
+// PathTo reconstructs the segment sequence from the source to lm. It
+// returns ErrNoPath when lm is unreachable.
+func (t *Tree) PathTo(lm LandmarkID) ([]SegmentID, error) {
+	if !t.Reachable(lm) {
+		return nil, fmt.Errorf("%w: landmark %d from %d", ErrNoPath, lm, t.Source)
+	}
+	var rev []SegmentID
+	for cur := lm; cur != t.Source; {
+		sid := t.prevSeg[cur]
+		if sid == NoSegment {
+			return nil, fmt.Errorf("%w: broken tree at landmark %d", ErrNoPath, cur)
+		}
+		rev = append(rev, sid)
+		cur = t.g.Segment(sid).From
+	}
+	// reverse in place
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Route is a drivable route: an ordered segment sequence plus its total
+// travel time in seconds. The first segment may be partially traversed
+// (the caller's current position determines how much of it remains).
+type Route struct {
+	Segs []SegmentID
+	Time float64 // seconds
+}
+
+// Empty reports whether the route contains no segments.
+func (rt Route) Empty() bool { return len(rt.Segs) == 0 }
+
+// Destination returns the final segment of the route, or NoSegment for an
+// empty route.
+func (rt Route) Destination() SegmentID {
+	if len(rt.Segs) == 0 {
+		return NoSegment
+	}
+	return rt.Segs[len(rt.Segs)-1]
+}
+
+// remainingTime returns the time to finish the segment the vehicle is on.
+// A vehicle already on a segment may always finish it, even if the
+// segment has since closed (it cannot teleport off the road); the closure
+// only forbids entering new closed segments.
+func (r *Router) remainingTime(pos Position) float64 {
+	seg := r.g.Segment(pos.Seg)
+	remaining := seg.Length - pos.Offset
+	if remaining < 0 {
+		remaining = 0
+	}
+	w, open := r.cost.SegmentTime(seg)
+	if !open || math.IsInf(w, 1) {
+		// Traverse the rest at the free-flow time as a best effort.
+		w = seg.FreeFlowTime()
+	}
+	if seg.Length <= 0 {
+		return 0
+	}
+	return w * remaining / seg.Length
+}
+
+// RouteToSegmentEnd plans the time-shortest route from pos to the end of
+// target, per the paper's dispatch semantics ("drive to the end of the
+// destination road segment"). The returned route's first element is
+// pos.Seg (possibly partially traversed) and its last element is target.
+func (r *Router) RouteToSegmentEnd(pos Position, target SegmentID) (Route, error) {
+	if !r.g.validSegment(pos.Seg) || !r.g.validSegment(target) {
+		return Route{}, fmt.Errorf("roadnet: invalid segment in route request (%d -> %d)", pos.Seg, target)
+	}
+	if pos.Seg == target {
+		return Route{Segs: []SegmentID{target}, Time: r.remainingTime(pos)}, nil
+	}
+	tgt := r.g.Segment(target)
+	tw, open := r.cost.SegmentTime(tgt)
+	if !open || math.IsInf(tw, 1) {
+		return Route{}, fmt.Errorf("%w: target segment %d closed", ErrNoPath, target)
+	}
+	startLM := r.g.Segment(pos.Seg).To
+	tree := r.Tree(startLM)
+	if !tree.Reachable(tgt.From) {
+		return Route{}, fmt.Errorf("%w: segment %d unreachable from position", ErrNoPath, target)
+	}
+	mid, err := tree.PathTo(tgt.From)
+	if err != nil {
+		return Route{}, err
+	}
+	segs := make([]SegmentID, 0, len(mid)+2)
+	segs = append(segs, pos.Seg)
+	segs = append(segs, mid...)
+	segs = append(segs, target)
+	total := r.remainingTime(pos) + tree.TimeTo(tgt.From) + tw
+	return Route{Segs: segs, Time: total}, nil
+}
+
+// TravelTime returns the time in seconds to drive from pos to the end of
+// target, or +Inf when unreachable.
+func (r *Router) TravelTime(pos Position, target SegmentID) float64 {
+	rt, err := r.RouteToSegmentEnd(pos, target)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return rt.Time
+}
+
+// TreeFromPosition runs Dijkstra from the head landmark of the segment the
+// vehicle is on, and returns the tree plus the time to finish that
+// segment. TimeTo(lm)+head gives the full position-to-landmark time.
+func (r *Router) TreeFromPosition(pos Position) (tree *Tree, head float64) {
+	seg := r.g.Segment(pos.Seg)
+	return r.Tree(seg.To), r.remainingTime(pos)
+}

@@ -1,0 +1,367 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobirescue/internal/geo"
+)
+
+// RegionInfo describes one of the city's council-district regions
+// (Figure 1 of the paper partitions Charlotte into 7 of them).
+type RegionInfo struct {
+	ID           int       `json:"id"`   // 1-based
+	Name         string    `json:"name"` // e.g. "R3 (downtown)"
+	Center       geo.Point `json:"center"`
+	BaseAltitude float64   `json:"base_altitude"` // meters
+}
+
+// City bundles a generated road network with its region metadata and the
+// points of interest the dispatch system needs (hospitals and the rescue
+// team dispatching center).
+type City struct {
+	Graph     *Graph
+	Regions   []RegionInfo // index 0 unused; Regions[i] is region i
+	Hospitals []LandmarkID
+	Depot     LandmarkID
+}
+
+// RegionAt returns the region index whose center is nearest to p, or 0
+// when the city has no regions.
+func (c *City) RegionAt(p geo.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i := 1; i < len(c.Regions); i++ {
+		if d := geo.FastDistance(p, c.Regions[i].Center); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}
+
+// NumRegions returns the number of regions in the city.
+func (c *City) NumRegions() int {
+	if len(c.Regions) == 0 {
+		return 0
+	}
+	return len(c.Regions) - 1
+}
+
+// HospitalNearest returns the hospital landmark closest (great-circle) to
+// p, or NoLandmark when the city has none.
+func (c *City) HospitalNearest(p geo.Point) LandmarkID {
+	best := NoLandmark
+	bestD := math.Inf(1)
+	for _, h := range c.Hospitals {
+		if d := geo.FastDistance(p, c.Graph.Landmark(h).Pos); d < bestD {
+			bestD = d
+			best = h
+		}
+	}
+	return best
+}
+
+// GenConfig controls synthetic city generation.
+type GenConfig struct {
+	// Seed drives all randomness; equal seeds give identical cities.
+	Seed int64
+	// Center is the city center (region 3, downtown).
+	Center geo.Point
+	// RegionRadius is the distance in meters from downtown to the
+	// surrounding region centers.
+	RegionRadius float64
+	// GridRows and GridCols size each region's street grid.
+	GridRows, GridCols int
+	// Spacing is the street-grid spacing in meters for suburban regions.
+	Spacing float64
+	// DowntownSpacingFactor scales downtown's grid spacing (<1 = denser).
+	DowntownSpacingFactor float64
+	// InterRegionLinks is the number of arterial connections generated
+	// between each pair of adjacent regions.
+	InterRegionLinks int
+	// HospitalsPerRegion controls hospital placement.
+	HospitalsPerRegion int
+	// Elevation overrides the built-in terrain model when non-nil.
+	Elevation func(geo.Point) float64
+}
+
+// DefaultGenConfig returns the Charlotte-like defaults used by the
+// experiments.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:                  1,
+		Center:                geo.Point{Lat: 35.2271, Lon: -80.8431},
+		RegionRadius:          6000,
+		GridRows:              8,
+		GridCols:              8,
+		Spacing:               550,
+		DowntownSpacingFactor: 0.65,
+		InterRegionLinks:      3,
+		HospitalsPerRegion:    1,
+	}
+}
+
+// DowntownRegion is the index of the central (downtown) region, matching
+// the paper's Region 3.
+const DowntownRegion = 3
+
+// regionBaseAltitudes mirrors the paper's measurements: R1 is the
+// highest and barely affected (its Figure 2 flow change is under
+// 100 veh/h), R2 low (195.07 m), downtown R3 the lowest (most rescue
+// requests, Figure 4). The spread is widened slightly relative to the
+// paper's absolute readings so the highest district sits above the
+// flood model's reference altitude — in Charlotte, the highest wards
+// genuinely did not flood.
+var regionBaseAltitudes = [8]float64{0, 236.0, 198.0, 192.0, 222.0, 228.0, 210.0, 230.0}
+
+// regionAngles places regions 1,2,4,5,6,7 on a ring around downtown; the
+// paper's council districts wrap the center. Region 2 is placed adjacent
+// to region 3 on the low-altitude (flood-prone) side.
+var regionAngles = map[int]float64{1: 330, 2: 90, 4: 30, 5: 150, 6: 210, 7: 270}
+
+// GenerateCity builds a synthetic Charlotte-like city: seven regions
+// (downtown region 3 at the center, six districts on a ring), each a
+// street grid with arterials every third street, arterial links between
+// adjacent regions, one or more hospitals per region, and a dispatch
+// depot downtown.
+func GenerateCity(cfg GenConfig) (*City, error) {
+	if cfg.GridRows < 2 || cfg.GridCols < 2 {
+		return nil, fmt.Errorf("roadnet: grid must be at least 2x2, got %dx%d", cfg.GridRows, cfg.GridCols)
+	}
+	if cfg.Spacing <= 0 {
+		return nil, fmt.Errorf("roadnet: spacing must be positive, got %v", cfg.Spacing)
+	}
+	if cfg.RegionRadius <= 0 {
+		return nil, fmt.Errorf("roadnet: region radius must be positive, got %v", cfg.RegionRadius)
+	}
+	if cfg.DowntownSpacingFactor <= 0 {
+		cfg.DowntownSpacingFactor = 1
+	}
+	if cfg.InterRegionLinks <= 0 {
+		cfg.InterRegionLinks = 1
+	}
+	if cfg.HospitalsPerRegion <= 0 {
+		cfg.HospitalsPerRegion = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	city := &City{
+		Graph:   NewGraph(),
+		Regions: make([]RegionInfo, 8),
+	}
+	// Region centers.
+	for r := 1; r <= 7; r++ {
+		center := cfg.Center
+		if r != DowntownRegion {
+			center = geo.Destination(cfg.Center, regionAngles[r], cfg.RegionRadius)
+		}
+		name := fmt.Sprintf("R%d", r)
+		if r == DowntownRegion {
+			name = "R3 (downtown)"
+		}
+		city.Regions[r] = RegionInfo{
+			ID:           r,
+			Name:         name,
+			Center:       center,
+			BaseAltitude: regionBaseAltitudes[r],
+		}
+	}
+	elev := cfg.Elevation
+	if elev == nil {
+		elev = city.defaultElevation
+	}
+
+	// Per-region street grids.
+	grids := make(map[int][][]LandmarkID, 7)
+	for r := 1; r <= 7; r++ {
+		spacing := cfg.Spacing
+		if r == DowntownRegion {
+			spacing *= cfg.DowntownSpacingFactor
+		}
+		grid, err := addGrid(city.Graph, rng, city.Regions[r], cfg.GridRows, cfg.GridCols, spacing, elev)
+		if err != nil {
+			return nil, err
+		}
+		grids[r] = grid
+	}
+
+	// Arterial links between adjacent regions: downtown connects to every
+	// ring region; ring neighbors connect to each other.
+	type pair struct{ a, b int }
+	var pairs []pair
+	ring := []int{4, 2, 5, 6, 7, 1} // ring order by angle: 30,90,150,210,270,330
+	for _, r := range ring {
+		pairs = append(pairs, pair{DowntownRegion, r})
+	}
+	for i := range ring {
+		pairs = append(pairs, pair{ring[i], ring[(i+1)%len(ring)]})
+	}
+	for _, p := range pairs {
+		if err := linkRegions(city.Graph, rng, grids[p.a], grids[p.b], cfg.InterRegionLinks); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hospitals: nearest grid nodes to points offset from each region
+	// center, deterministic given the seed.
+	for r := 1; r <= 7; r++ {
+		grid := grids[r]
+		for h := 0; h < cfg.HospitalsPerRegion; h++ {
+			row := (len(grid) / 2) + h
+			if row >= len(grid) {
+				row = len(grid) - 1 - h%len(grid)
+				if row < 0 {
+					row = 0
+				}
+			}
+			col := len(grid[0]) / 2
+			city.Hospitals = append(city.Hospitals, grid[row][col])
+		}
+	}
+	// Depot: downtown grid corner-of-center.
+	dg := grids[DowntownRegion]
+	city.Depot = dg[len(dg)/2][len(dg[0])/3]
+
+	if err := city.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: generated city invalid: %w", err)
+	}
+	return city, nil
+}
+
+// ElevationAt returns the city's terrain altitude at p. It is the same
+// model used to assign landmark altitudes during generation (unless the
+// generator was given a custom Elevation function), so it is cheap and
+// consistent with the graph.
+func (c *City) ElevationAt(p geo.Point) float64 { return c.defaultElevation(p) }
+
+// defaultElevation is a smooth terrain model: each point takes its
+// region's base altitude blended by inverse-distance weighting, plus a
+// gentle deterministic ripple so altitude varies within a region.
+func (c *City) defaultElevation(p geo.Point) float64 {
+	var wsum, asum float64
+	for i := 1; i < len(c.Regions); i++ {
+		r := c.Regions[i]
+		d := geo.FastDistance(p, r.Center)
+		// Sharply local weighting: each district keeps its own altitude,
+		// with a ~2.5 km blending band at the borders. A soft blend would
+		// compress the altitude range and flood high districts that in
+		// reality stay dry.
+		n := d / 2500.0
+		w := 1.0 / (1.0 + n*n*n)
+		wsum += w
+		asum += w * r.BaseAltitude
+	}
+	base := 210.0
+	if wsum > 0 {
+		base = asum / wsum
+	}
+	ripple := 1.5*math.Sin(p.Lat*700) + 1.2*math.Cos(p.Lon*650)
+	return base + ripple
+}
+
+// addGrid creates a rows x cols street grid centered on the region center
+// and returns the landmark matrix.
+func addGrid(g *Graph, rng *rand.Rand, region RegionInfo, rows, cols int, spacing float64, elev func(geo.Point) float64) ([][]LandmarkID, error) {
+	grid := make([][]LandmarkID, rows)
+	// Grid extends symmetrically around the region center.
+	originY := -spacing * float64(rows-1) / 2
+	originX := -spacing * float64(cols-1) / 2
+	proj := geo.NewProjection(region.Center)
+	for i := 0; i < rows; i++ {
+		grid[i] = make([]LandmarkID, cols)
+		for j := 0; j < cols; j++ {
+			// Small jitter makes the grid look organic without breaking
+			// connectivity.
+			jx := (rng.Float64() - 0.5) * spacing * 0.15
+			jy := (rng.Float64() - 0.5) * spacing * 0.15
+			pos := proj.ToPoint(geo.XY{
+				X: originX + float64(j)*spacing + jx,
+				Y: originY + float64(i)*spacing + jy,
+			})
+			grid[i][j] = g.AddLandmark(pos, elev(pos), region.ID)
+		}
+	}
+	classFor := func(idx int) RoadClass {
+		if idx%3 == 0 {
+			return ClassArterial
+		}
+		if idx%3 == 1 {
+			return ClassCollector
+		}
+		return ClassResidential
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				if _, _, err := g.AddRoad(grid[i][j], grid[i][j+1], 0, 0, classFor(i)); err != nil {
+					return nil, err
+				}
+			}
+			if i+1 < rows {
+				if _, _, err := g.AddRoad(grid[i][j], grid[i+1][j], 0, 0, classFor(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return grid, nil
+}
+
+// linkRegions adds n arterial roads between the closest boundary node
+// pairs of two region grids.
+func linkRegions(g *Graph, rng *rand.Rand, ga, gb [][]LandmarkID, n int) error {
+	// Collect boundary nodes of each grid.
+	boundary := func(grid [][]LandmarkID) []LandmarkID {
+		var out []LandmarkID
+		rows, cols := len(grid), len(grid[0])
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if i == 0 || j == 0 || i == rows-1 || j == cols-1 {
+					out = append(out, grid[i][j])
+				}
+			}
+		}
+		return out
+	}
+	ba, bb := boundary(ga), boundary(gb)
+	type cand struct {
+		a, b LandmarkID
+		d    float64
+	}
+	var cands []cand
+	for _, a := range ba {
+		for _, b := range bb {
+			cands = append(cands, cand{a, b, geo.FastDistance(g.Landmark(a).Pos, g.Landmark(b).Pos)})
+		}
+	}
+	// Selection sort the n closest pairs, avoiding reusing a node.
+	used := make(map[LandmarkID]bool)
+	added := 0
+	for added < n && len(cands) > 0 {
+		best := -1
+		for i, c := range cands {
+			if used[c.a] || used[c.b] {
+				continue
+			}
+			if best == -1 || c.d < cands[best].d {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		used[c.a], used[c.b] = true, true
+		if _, _, err := g.AddRoad(c.a, c.b, 0, 0, ClassArterial); err != nil {
+			return err
+		}
+		added++
+	}
+	if added == 0 {
+		return fmt.Errorf("roadnet: could not link regions")
+	}
+	_ = rng
+	return nil
+}

@@ -1,0 +1,74 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the serialized form of a Graph; adjacency lists are
+// rebuilt on load.
+type graphJSON struct {
+	Landmarks []Landmark `json:"landmarks"`
+	Segments  []Segment  `json:"segments"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{Landmarks: g.landmarks, Segments: g.segments})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding adjacency lists
+// and validating the result.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return fmt.Errorf("roadnet: decoding graph: %w", err)
+	}
+	*g = Graph{
+		landmarks: gj.Landmarks,
+		segments:  gj.Segments,
+		out:       make([][]SegmentID, len(gj.Landmarks)),
+		in:        make([][]SegmentID, len(gj.Landmarks)),
+	}
+	for _, s := range g.segments {
+		if !g.validLandmark(s.From) || !g.validLandmark(s.To) {
+			return fmt.Errorf("roadnet: segment %d references missing landmark", s.ID)
+		}
+		g.out[s.From] = append(g.out[s.From], s.ID)
+		g.in[s.To] = append(g.in[s.To], s.ID)
+	}
+	return g.Validate()
+}
+
+// cityJSON is the serialized form of a City.
+type cityJSON struct {
+	Graph     *Graph       `json:"graph"`
+	Regions   []RegionInfo `json:"regions"`
+	Hospitals []LandmarkID `json:"hospitals"`
+	Depot     LandmarkID   `json:"depot"`
+}
+
+// WriteJSON serializes the city to w.
+func (c *City) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cityJSON{
+		Graph: c.Graph, Regions: c.Regions,
+		Hospitals: c.Hospitals, Depot: c.Depot,
+	})
+}
+
+// ReadCityJSON deserializes a City written by WriteJSON.
+func ReadCityJSON(r io.Reader) (*City, error) {
+	var cj cityJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("roadnet: decoding city: %w", err)
+	}
+	if cj.Graph == nil {
+		return nil, fmt.Errorf("roadnet: city JSON missing graph")
+	}
+	return &City{
+		Graph: cj.Graph, Regions: cj.Regions,
+		Hospitals: cj.Hospitals, Depot: cj.Depot,
+	}, nil
+}

@@ -1,0 +1,201 @@
+package roadnet
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mobirescue/internal/geo"
+)
+
+// osmNode, osmWay, and friends mirror the OpenStreetMap XML schema
+// subset we consume.
+type osmTag struct {
+	K string `xml:"k,attr"`
+	V string `xml:"v,attr"`
+}
+
+type osmNode struct {
+	ID  int64   `xml:"id,attr"`
+	Lat float64 `xml:"lat,attr"`
+	Lon float64 `xml:"lon,attr"`
+}
+
+type osmNodeRef struct {
+	Ref int64 `xml:"ref,attr"`
+}
+
+type osmWay struct {
+	ID    int64        `xml:"id,attr"`
+	Nodes []osmNodeRef `xml:"nd"`
+	Tags  []osmTag     `xml:"tag"`
+}
+
+// highwayClass maps OSM highway tag values onto road classes. Unmapped
+// values (footways, paths, ...) are not drivable and are skipped.
+func highwayClass(v string) (RoadClass, bool) {
+	switch v {
+	case "motorway", "motorway_link", "trunk", "trunk_link":
+		return ClassHighway, true
+	case "primary", "primary_link", "secondary", "secondary_link":
+		return ClassArterial, true
+	case "tertiary", "tertiary_link":
+		return ClassCollector, true
+	case "residential", "unclassified", "living_street", "service":
+		return ClassResidential, true
+	default:
+		return ClassUnknown, false
+	}
+}
+
+// parseMaxspeed converts an OSM maxspeed tag to m/s. It understands bare
+// km/h numbers ("50") and mph values ("35 mph"). It returns 0 when the
+// value cannot be parsed, letting the road-class default apply.
+func parseMaxspeed(v string) float64 {
+	v = strings.TrimSpace(strings.ToLower(v))
+	if v == "" {
+		return 0
+	}
+	mph := false
+	if strings.HasSuffix(v, "mph") {
+		mph = true
+		v = strings.TrimSpace(strings.TrimSuffix(v, "mph"))
+	}
+	n, err := strconv.ParseFloat(v, 64)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	if mph {
+		return n * 0.44704
+	}
+	return n / 3.6
+}
+
+// LoadOSM parses an OpenStreetMap XML extract and builds a directed road
+// graph from its drivable ways. Only nodes referenced by drivable ways
+// become landmarks. Region and altitude are left at zero; callers can
+// assign them afterwards (see AssignRegions).
+func LoadOSM(r io.Reader) (*Graph, error) {
+	dec := xml.NewDecoder(r)
+	nodes := make(map[int64]geo.Point)
+	var ways []osmWay
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: parsing OSM XML: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "node":
+			var n osmNode
+			if err := dec.DecodeElement(&n, &se); err != nil {
+				return nil, fmt.Errorf("roadnet: decoding OSM node: %w", err)
+			}
+			nodes[n.ID] = geo.Point{Lat: n.Lat, Lon: n.Lon}
+		case "way":
+			var w osmWay
+			if err := dec.DecodeElement(&w, &se); err != nil {
+				return nil, fmt.Errorf("roadnet: decoding OSM way: %w", err)
+			}
+			ways = append(ways, w)
+		}
+	}
+
+	g := NewGraph()
+	idMap := make(map[int64]LandmarkID)
+	landmark := func(osmID int64) (LandmarkID, error) {
+		if id, ok := idMap[osmID]; ok {
+			return id, nil
+		}
+		pos, ok := nodes[osmID]
+		if !ok {
+			return NoLandmark, fmt.Errorf("roadnet: way references missing node %d", osmID)
+		}
+		id := g.AddLandmark(pos, 0, 0)
+		idMap[osmID] = id
+		return id, nil
+	}
+
+	for _, w := range ways {
+		var class RoadClass
+		drivable := false
+		oneway := false
+		speed := 0.0
+		for _, t := range w.Tags {
+			switch t.K {
+			case "highway":
+				class, drivable = highwayClass(t.V)
+			case "oneway":
+				oneway = t.V == "yes" || t.V == "1" || t.V == "true"
+			case "maxspeed":
+				speed = parseMaxspeed(t.V)
+			}
+		}
+		if !drivable || len(w.Nodes) < 2 {
+			continue
+		}
+		for i := 0; i+1 < len(w.Nodes); i++ {
+			a, err := landmark(w.Nodes[i].Ref)
+			if err != nil {
+				return nil, err
+			}
+			b, err := landmark(w.Nodes[i+1].Ref)
+			if err != nil {
+				return nil, err
+			}
+			if a == b {
+				continue // degenerate consecutive refs
+			}
+			if oneway {
+				if _, err := g.AddSegment(a, b, 0, speed, class); err != nil {
+					return nil, err
+				}
+			} else {
+				if _, _, err := g.AddRoad(a, b, 0, speed, class); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: OSM graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// AssignRegions sets the region of every landmark and segment to the
+// nearest of the provided region centers (1-based) and recomputes
+// altitudes with elev when non-nil.
+func AssignRegions(g *Graph, regions []RegionInfo, elev func(geo.Point) float64) {
+	nearest := func(p geo.Point) int {
+		best, bestD := 0, -1.0
+		for i := 1; i < len(regions); i++ {
+			d := geo.FastDistance(p, regions[i].Center)
+			if bestD < 0 || d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+		return best
+	}
+	for i := range g.landmarks {
+		lm := &g.landmarks[i]
+		lm.Region = nearest(lm.Pos)
+		if elev != nil {
+			lm.Altitude = elev(lm.Pos)
+		}
+	}
+	for i := range g.segments {
+		s := &g.segments[i]
+		mid := geo.Interpolate(g.landmarks[s.From].Pos, g.landmarks[s.To].Pos, 0.5)
+		s.Region = nearest(mid)
+	}
+}

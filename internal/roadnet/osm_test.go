@@ -1,0 +1,177 @@
+package roadnet
+
+import (
+	"strings"
+	"testing"
+
+	"mobirescue/internal/geo"
+)
+
+const sampleOSM = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="100" lat="35.2200" lon="-80.8400"/>
+  <node id="101" lat="35.2250" lon="-80.8400"/>
+  <node id="102" lat="35.2300" lon="-80.8400"/>
+  <node id="103" lat="35.2250" lon="-80.8350"/>
+  <node id="104" lat="35.2250" lon="-80.8450"/>
+  <node id="105" lat="35.2400" lon="-80.8400"/>
+  <way id="1">
+    <nd ref="100"/><nd ref="101"/><nd ref="102"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="35 mph"/>
+  </way>
+  <way id="2">
+    <nd ref="103"/><nd ref="101"/><nd ref="104"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="3">
+    <nd ref="102"/><nd ref="105"/>
+    <tag k="highway" v="motorway"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="100"/>
+  </way>
+  <way id="4">
+    <nd ref="100"/><nd ref="103"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>`
+
+func TestLoadOSM(t *testing.T) {
+	g, err := LoadOSM(strings.NewReader(sampleOSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Way 4 is a footway: node pair (100,103) contributes no extra
+	// landmarks beyond those used by drivable ways. Nodes 100-105 are all
+	// used by ways 1-3.
+	if got := g.NumLandmarks(); got != 6 {
+		t.Errorf("landmarks = %d, want 6", got)
+	}
+	// Ways 1 and 2 are bidirectional with 2 hops each (4 segs each), way
+	// 3 is a one-way single hop (1 seg): 4+4+1 = 9.
+	if got := g.NumSegments(); got != 9 {
+		t.Errorf("segments = %d, want 9", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Check class and speed mapping on the primary way.
+	foundPrimary := false
+	g.Segments(func(s Segment) {
+		if s.Class == ClassArterial {
+			foundPrimary = true
+			want := 35 * 0.44704
+			if diff := s.SpeedLimit - want; diff > 0.01 || diff < -0.01 {
+				t.Errorf("primary speed = %v, want %v", s.SpeedLimit, want)
+			}
+		}
+	})
+	if !foundPrimary {
+		t.Error("no arterial segments from primary way")
+	}
+}
+
+func TestLoadOSMOneway(t *testing.T) {
+	g, err := LoadOSM(strings.NewReader(sampleOSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The motorway 102->105 must exist one-way only.
+	var fwd, rev int
+	g.Segments(func(s Segment) {
+		if s.Class == ClassHighway {
+			fwd++
+		}
+	})
+	g.Segments(func(s Segment) {
+		if s.Class == ClassHighway && s.SpeedLimit < 27 {
+			rev++ // 100 km/h = 27.8 m/s; sanity only
+		}
+	})
+	if fwd != 1 {
+		t.Errorf("highway segments = %d, want 1 (one-way)", fwd)
+	}
+}
+
+func TestLoadOSMMissingNode(t *testing.T) {
+	bad := `<osm><node id="1" lat="35" lon="-80"/>
+	<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way></osm>`
+	if _, err := LoadOSM(strings.NewReader(bad)); err == nil {
+		t.Error("missing node reference should error")
+	}
+}
+
+func TestLoadOSMMalformedXML(t *testing.T) {
+	if _, err := LoadOSM(strings.NewReader("<osm><node id=")); err == nil {
+		t.Error("malformed XML should error")
+	}
+}
+
+func TestParseMaxspeed(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"50", 50 / 3.6},
+		{"35 mph", 35 * 0.44704},
+		{"35mph", 35 * 0.44704},
+		{"", 0},
+		{"none", 0},
+		{"-10", 0},
+	}
+	for _, tt := range tests {
+		if got := parseMaxspeed(tt.in); got != tt.want {
+			t.Errorf("parseMaxspeed(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestHighwayClass(t *testing.T) {
+	tests := []struct {
+		in       string
+		want     RoadClass
+		drivable bool
+	}{
+		{"motorway", ClassHighway, true},
+		{"trunk_link", ClassHighway, true},
+		{"primary", ClassArterial, true},
+		{"secondary_link", ClassArterial, true},
+		{"tertiary", ClassCollector, true},
+		{"residential", ClassResidential, true},
+		{"service", ClassResidential, true},
+		{"footway", ClassUnknown, false},
+		{"cycleway", ClassUnknown, false},
+	}
+	for _, tt := range tests {
+		got, drivable := highwayClass(tt.in)
+		if got != tt.want || drivable != tt.drivable {
+			t.Errorf("highwayClass(%q) = %v,%v, want %v,%v", tt.in, got, drivable, tt.want, tt.drivable)
+		}
+	}
+}
+
+func TestAssignRegions(t *testing.T) {
+	g, err := LoadOSM(strings.NewReader(sampleOSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := make([]RegionInfo, 3)
+	regions[1] = RegionInfo{ID: 1, Center: g.Landmark(0).Pos}
+	// Far away center: nothing should map to it.
+	regions[2] = RegionInfo{ID: 2, Center: g.Landmark(0).Pos}
+	regions[2].Center.Lat += 10
+	AssignRegions(g, regions, func(geo.Point) float64 { return 123 })
+	g.Landmarks(func(lm Landmark) {
+		if lm.Region != 1 {
+			t.Errorf("landmark %d assigned region %d, want 1", lm.ID, lm.Region)
+		}
+		if lm.Altitude != 123 {
+			t.Errorf("landmark %d altitude %v, want 123", lm.ID, lm.Altitude)
+		}
+	})
+	g.Segments(func(s Segment) {
+		if s.Region != 1 {
+			t.Errorf("segment %d assigned region %d, want 1", s.ID, s.Region)
+		}
+	})
+}

@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mobirescue/internal/roadnet"
+)
+
+// vehicle is the simulator-internal vehicle state.
+type vehicle struct {
+	id         VehicleID
+	pos        roadnet.Position
+	phase      VehiclePhase
+	route      []roadnet.SegmentID // remaining route; route[0] == pos.Seg while driving
+	onboard    []int               // indices into Simulator.requests
+	served     int                 // cumulative pickups
+	dwellUntil time.Time
+	resume     VehiclePhase // phase to resume after a dwell
+	orderStart time.Time    // when the current serving order's driving began
+	pending    *Order       // order received while dwelling
+}
+
+// Simulator runs one dispatch method over one scenario day.
+type Simulator struct {
+	cfg      Config
+	city     *roadnet.City
+	costProv CostProvider
+	disp     Dispatcher
+
+	requests []RequestOutcome // sorted by AppearAt
+	vehicles []*vehicle
+
+	now         time.Time
+	cost        roadnet.CostModel
+	router      *roadnet.Router
+	activeBySeg map[roadnet.SegmentID][]int
+	nextAppear  int
+
+	delayed []timedOrders
+	rounds  []RoundStat
+	delays  []time.Duration
+}
+
+// timedOrders are dispatcher orders waiting out the computation delay.
+type timedOrders struct {
+	at     time.Time
+	orders []Order
+}
+
+// New creates a simulator. starts gives each vehicle's initial position;
+// its length sets the fleet size.
+func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []Request, starts []roadnet.Position, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if city == nil || city.Graph.NumSegments() == 0 {
+		return nil, fmt.Errorf("sim: city with segments required")
+	}
+	if costProv == nil {
+		return nil, fmt.Errorf("sim: cost provider required")
+	}
+	if disp == nil {
+		return nil, fmt.Errorf("sim: dispatcher required")
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("sim: at least one vehicle required")
+	}
+	if len(city.Hospitals) == 0 {
+		return nil, fmt.Errorf("sim: city has no hospitals")
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		city:        city,
+		costProv:    costProv,
+		disp:        disp,
+		activeBySeg: make(map[roadnet.SegmentID][]int),
+		now:         cfg.Start,
+	}
+	s.requests = make([]RequestOutcome, 0, len(requests))
+	for _, r := range requests {
+		if int(r.Seg) < 0 || int(r.Seg) >= city.Graph.NumSegments() {
+			return nil, fmt.Errorf("sim: request %d on invalid segment %d", r.ID, r.Seg)
+		}
+		s.requests = append(s.requests, RequestOutcome{Request: r, ServedBy: -1})
+	}
+	sort.SliceStable(s.requests, func(i, j int) bool {
+		return s.requests[i].AppearAt.Before(s.requests[j].AppearAt)
+	})
+	for i, pos := range starts {
+		if int(pos.Seg) < 0 || int(pos.Seg) >= city.Graph.NumSegments() {
+			return nil, fmt.Errorf("sim: vehicle %d starts on invalid segment %d", i, pos.Seg)
+		}
+		s.vehicles = append(s.vehicles, &vehicle{
+			id: VehicleID(i), pos: pos, phase: PhaseIdle,
+		})
+	}
+	s.refreshCost()
+	return s, nil
+}
+
+// refreshCost rebinds the cost model and router to the current time.
+func (s *Simulator) refreshCost() {
+	s.cost = s.costProv.CostAt(s.now)
+	if s.cost == nil {
+		s.cost = roadnet.FreeFlow{}
+	}
+	s.router = roadnet.NewRouter(s.city.Graph, s.cost)
+}
+
+// Run executes the scenario and returns the collected result.
+func (s *Simulator) Run() (*Result, error) {
+	end := s.cfg.Start.Add(s.cfg.Duration)
+	nextRound := s.cfg.Start
+	for s.now.Before(end) {
+		// Surface newly appeared requests.
+		for s.nextAppear < len(s.requests) && !s.requests[s.nextAppear].AppearAt.After(s.now) {
+			idx := s.nextAppear
+			seg := s.requests[idx].Seg
+			s.activeBySeg[seg] = append(s.activeBySeg[seg], idx)
+			s.nextAppear++
+		}
+		// Dispatch round.
+		if !s.now.Before(nextRound) {
+			s.refreshCost()
+			s.round()
+			nextRound = nextRound.Add(s.cfg.Period)
+		}
+		// Apply orders whose computation delay has elapsed.
+		s.applyDueOrders()
+		// Move vehicles.
+		for _, v := range s.vehicles {
+			s.stepVehicle(v)
+		}
+		s.now = s.now.Add(s.cfg.Step)
+	}
+	return &Result{
+		Method:        s.disp.Name(),
+		Config:        s.cfg,
+		Requests:      s.requests,
+		Rounds:        s.rounds,
+		ComputeDelays: s.delays,
+	}, nil
+}
+
+// round invokes the dispatcher and queues its orders.
+func (s *Simulator) round() {
+	snap := &Snapshot{
+		Time:   s.now,
+		City:   s.city,
+		Cost:   s.cost,
+		Router: s.router,
+	}
+	for _, v := range s.vehicles {
+		snap.Vehicles = append(snap.Vehicles, VehicleState{
+			ID: v.id, Pos: v.pos, Onboard: len(v.onboard), Phase: v.phase,
+			Served: v.served,
+		})
+	}
+	for seg, idxs := range s.activeBySeg {
+		for _, i := range idxs {
+			if s.requests[i].Served() {
+				continue
+			}
+			snap.ActiveRequests = append(snap.ActiveRequests, RequestState{
+				ID: s.requests[i].ID, Seg: seg, AppearAt: s.requests[i].AppearAt,
+			})
+		}
+	}
+	orders, delay := s.disp.Decide(snap)
+	if delay < 0 {
+		delay = 0
+	}
+	s.delays = append(s.delays, delay)
+	// Serving teams (Figure 14): teams actively working a target or a
+	// delivery, plus teams just ordered to one.
+	servingSet := make(map[VehicleID]bool)
+	for _, o := range orders {
+		if !o.ToDepot {
+			servingSet[o.Vehicle] = true
+		}
+	}
+	for _, v := range s.vehicles {
+		if v.phase == PhaseServing || v.phase == PhaseDelivering || v.phase == PhaseDwell {
+			servingSet[v.id] = true
+		}
+	}
+	s.rounds = append(s.rounds, RoundStat{Time: s.now, Serving: len(servingSet)})
+	if len(orders) > 0 {
+		s.delayed = append(s.delayed, timedOrders{at: s.now.Add(delay), orders: orders})
+	}
+}
+
+// applyDueOrders applies queued orders whose effective time has arrived.
+func (s *Simulator) applyDueOrders() {
+	kept := s.delayed[:0]
+	for _, to := range s.delayed {
+		if to.at.After(s.now) {
+			kept = append(kept, to)
+			continue
+		}
+		for _, o := range to.orders {
+			s.applyOrder(o)
+		}
+	}
+	s.delayed = kept
+}
+
+// applyOrder directs one vehicle, respecting its current obligations.
+func (s *Simulator) applyOrder(o Order) {
+	if int(o.Vehicle) < 0 || int(o.Vehicle) >= len(s.vehicles) {
+		return
+	}
+	v := s.vehicles[o.Vehicle]
+	// A delivering or full vehicle finishes its delivery first.
+	if v.phase == PhaseDelivering || len(v.onboard) >= s.cfg.Capacity {
+		return
+	}
+	if v.phase == PhaseDwell {
+		oc := o
+		v.pending = &oc
+		return
+	}
+	if o.ToDepot {
+		if route, ok := s.routeToLandmark(v.pos, s.city.Depot); ok {
+			v.route = route
+			v.phase = PhaseToDepot
+			v.orderStart = time.Time{}
+		}
+		return
+	}
+	if route, ok := s.validRoute(v.pos, o); ok {
+		v.route = route
+		v.phase = PhaseServing
+		v.orderStart = s.now
+		return
+	}
+	rt, err := s.router.RouteToSegmentEnd(v.pos, o.Target)
+	if err != nil {
+		return // unreachable target: hold position
+	}
+	v.route = rt.Segs
+	v.phase = PhaseServing
+	v.orderStart = s.now
+}
+
+// validRoute checks a dispatcher-supplied route: it must start on the
+// vehicle's current segment, be contiguous, and end at the target.
+func (s *Simulator) validRoute(pos roadnet.Position, o Order) ([]roadnet.SegmentID, bool) {
+	if len(o.Route) == 0 || o.Route[0] != pos.Seg || o.Route[len(o.Route)-1] != o.Target {
+		return nil, false
+	}
+	g := s.city.Graph
+	for i, sid := range o.Route {
+		if int(sid) < 0 || int(sid) >= g.NumSegments() {
+			return nil, false
+		}
+		if i > 0 && g.Segment(o.Route[i-1]).To != g.Segment(sid).From {
+			return nil, false
+		}
+	}
+	return append([]roadnet.SegmentID(nil), o.Route...), true
+}
+
+// routeToLandmark plans pos -> lm, returning ok=false when unreachable.
+func (s *Simulator) routeToLandmark(pos roadnet.Position, lm roadnet.LandmarkID) ([]roadnet.SegmentID, bool) {
+	cur := s.city.Graph.Segment(pos.Seg)
+	if cur.To == lm {
+		return []roadnet.SegmentID{pos.Seg}, true
+	}
+	tree, _ := s.router.TreeFromPosition(pos)
+	if !tree.Reachable(lm) {
+		return nil, false
+	}
+	path, err := tree.PathTo(lm)
+	if err != nil {
+		return nil, false
+	}
+	route := make([]roadnet.SegmentID, 0, len(path)+1)
+	route = append(route, pos.Seg)
+	route = append(route, path...)
+	return route, true
+}
+
+// segmentSpeed returns the current driving speed on seg in m/s. A
+// vehicle on a flooded-closed segment crawls across at a small fraction
+// of the speed limit — it cannot leave the road, and a dispatcher that
+// planned through the closure pays for it in driving time.
+func (s *Simulator) segmentSpeed(seg roadnet.Segment) float64 {
+	w, open := s.cost.SegmentTime(seg)
+	if !open || math.IsInf(w, 1) || w <= 0 {
+		return seg.SpeedLimit * s.cfg.CrawlFactor
+	}
+	return seg.Length / w
+}
+
+// stepVehicle advances one vehicle by one time step.
+func (s *Simulator) stepVehicle(v *vehicle) {
+	if v.phase == PhaseDwell {
+		if s.now.Before(v.dwellUntil) {
+			return
+		}
+		v.phase = v.resume
+		if v.pending != nil {
+			o := *v.pending
+			v.pending = nil
+			s.applyOrder(o)
+		}
+	}
+	// Delivering vehicles with no route keep retrying (hospital may have
+	// been unreachable under an earlier flood state).
+	if v.phase == PhaseDelivering && len(v.route) == 0 {
+		s.startDelivery(v)
+		if len(v.route) == 0 {
+			return
+		}
+	}
+	if v.phase == PhaseIdle || len(v.route) == 0 {
+		// Idle vehicles can still pick up requests appearing under them.
+		s.tryPickup(v)
+		return
+	}
+
+	budget := s.segmentSpeed(s.city.Graph.Segment(v.pos.Seg)) * s.cfg.Step.Seconds()
+	for budget > 0 && len(v.route) > 0 {
+		seg := s.city.Graph.Segment(v.pos.Seg)
+		remaining := seg.Length - v.pos.Offset
+		if budget < remaining {
+			v.pos.Offset += budget
+			budget = 0
+			break
+		}
+		budget -= remaining
+		v.pos.Offset = seg.Length
+		// Segment complete.
+		if len(v.route) == 1 {
+			v.route = nil
+			s.arrive(v)
+			break
+		}
+		v.route = v.route[1:]
+		v.pos = roadnet.Position{Seg: v.route[0], Offset: 0}
+		if s.tryPickup(v) {
+			break // dwelling for pickup
+		}
+	}
+	if v.phase != PhaseDwell {
+		s.tryPickup(v)
+	}
+}
+
+// arrive handles a vehicle reaching the end of its route.
+func (s *Simulator) arrive(v *vehicle) {
+	switch v.phase {
+	case PhaseServing:
+		s.tryPickup(v)
+		if len(v.onboard) > 0 {
+			s.startDelivery(v)
+			return
+		}
+		if v.phase != PhaseDwell {
+			v.phase = PhaseIdle
+		}
+	case PhaseDelivering:
+		s.dropoff(v)
+	case PhaseToDepot:
+		v.phase = PhaseIdle
+	default:
+		v.phase = PhaseIdle
+	}
+}
+
+// tryPickup boards active requests on the vehicle's current segment. It
+// returns true when the vehicle entered a pickup dwell.
+func (s *Simulator) tryPickup(v *vehicle) bool {
+	if len(v.onboard) >= s.cfg.Capacity {
+		return false
+	}
+	idxs := s.activeBySeg[v.pos.Seg]
+	if len(idxs) == 0 {
+		return false
+	}
+	picked := 0
+	rest := idxs[:0]
+	for _, i := range idxs {
+		r := &s.requests[i]
+		if r.Served() {
+			continue
+		}
+		if len(v.onboard) >= s.cfg.Capacity {
+			rest = append(rest, i)
+			continue
+		}
+		r.PickedUpAt = s.now
+		r.ServedBy = v.id
+		if !v.orderStart.IsZero() {
+			r.DrivingDelay = s.now.Sub(v.orderStart)
+		}
+		v.onboard = append(v.onboard, i)
+		v.served++
+		picked++
+	}
+	if len(rest) == 0 {
+		delete(s.activeBySeg, v.pos.Seg)
+	} else {
+		s.activeBySeg[v.pos.Seg] = rest
+	}
+	if picked == 0 {
+		return false
+	}
+	if s.cfg.PickupTime > 0 {
+		v.resume = v.phase
+		if v.resume == PhaseDwell || v.resume == PhaseIdle {
+			v.resume = PhaseServing
+		}
+		if len(v.route) == 0 {
+			v.resume = PhaseIdle
+		}
+		v.phase = PhaseDwell
+		v.dwellUntil = s.now.Add(time.Duration(picked) * s.cfg.PickupTime)
+	}
+	// A full vehicle heads to the hospital as soon as any dwell ends.
+	if len(v.onboard) >= s.cfg.Capacity {
+		if v.phase == PhaseDwell {
+			v.resume = PhaseDelivering
+			v.route = nil
+		} else {
+			s.startDelivery(v)
+		}
+	}
+	return v.phase == PhaseDwell
+}
+
+// startDelivery routes the vehicle to the reachable hospital with the
+// smallest travel time.
+func (s *Simulator) startDelivery(v *vehicle) {
+	tree, _ := s.router.TreeFromPosition(v.pos)
+	bestLM := roadnet.NoLandmark
+	bestT := math.Inf(1)
+	for _, h := range s.city.Hospitals {
+		if t := tree.TimeTo(h); t < bestT {
+			bestT = t
+			bestLM = h
+		}
+	}
+	v.phase = PhaseDelivering
+	v.orderStart = time.Time{}
+	v.route = nil
+	if bestLM == roadnet.NoLandmark {
+		return // retry next step
+	}
+	if route, ok := s.routeToLandmark(v.pos, bestLM); ok {
+		v.route = route
+	}
+}
+
+// dropoff delivers every passenger at the current position.
+func (s *Simulator) dropoff(v *vehicle) {
+	for _, i := range v.onboard {
+		s.requests[i].DeliveredAt = s.now
+	}
+	n := len(v.onboard)
+	v.onboard = v.onboard[:0]
+	if s.cfg.DropTime > 0 && n > 0 {
+		v.phase = PhaseDwell
+		v.resume = PhaseIdle
+		v.dwellUntil = s.now.Add(s.cfg.DropTime)
+		return
+	}
+	v.phase = PhaseIdle
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"time"
+)
+
+// hourOf returns the 0-based hour slot of t within the run.
+func (r *Result) hourOf(t time.Time) int {
+	return int(t.Sub(r.Config.Start) / time.Hour)
+}
+
+// hours returns the number of hour slots in the run.
+func (r *Result) hours() int {
+	h := int(r.Config.Duration / time.Hour)
+	if r.Config.Duration%time.Hour != 0 {
+		h++
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// TimelyServedPerHour counts requests served within the timely threshold,
+// bucketed by pickup hour (Figure 9).
+func (r *Result) TimelyServedPerHour() []int {
+	out := make([]int, r.hours())
+	for _, req := range r.Requests {
+		if !req.Served() || req.Timeliness() > r.Config.TimelyThreshold {
+			continue
+		}
+		h := r.hourOf(req.PickedUpAt)
+		if h >= 0 && h < len(out) {
+			out[h]++
+		}
+	}
+	return out
+}
+
+// TotalTimelyServed counts all timely served requests.
+func (r *Result) TotalTimelyServed() int {
+	total := 0
+	for _, n := range r.TimelyServedPerHour() {
+		total += n
+	}
+	return total
+}
+
+// TotalServed counts all served requests, timely or not.
+func (r *Result) TotalServed() int {
+	n := 0
+	for _, req := range r.Requests {
+		if req.Served() {
+			n++
+		}
+	}
+	return n
+}
+
+// PerVehicleServed returns, for each vehicle, how many timely served
+// requests it handled (Figure 10's CDF input). Fleet size is inferred
+// from the largest vehicle ID observed plus idle vehicles given by n.
+func (r *Result) PerVehicleServed(n int) []int {
+	out := make([]int, n)
+	for _, req := range r.Requests {
+		if !req.Served() || req.Timeliness() > r.Config.TimelyThreshold {
+			continue
+		}
+		if int(req.ServedBy) >= 0 && int(req.ServedBy) < n {
+			out[req.ServedBy]++
+		}
+	}
+	return out
+}
+
+// DrivingDelaysSeconds returns the driving delay (s) of every served
+// request (Figures 11–12).
+func (r *Result) DrivingDelaysSeconds() []float64 {
+	var out []float64
+	for _, req := range r.Requests {
+		if req.Served() {
+			out = append(out, req.DrivingDelay.Seconds())
+		}
+	}
+	return out
+}
+
+// DrivingDelayPerHour returns the mean driving delay (s) of requests
+// picked up in each hour (Figure 11). Hours with no pickups report 0.
+func (r *Result) DrivingDelayPerHour() []float64 {
+	sums := make([]float64, r.hours())
+	counts := make([]int, r.hours())
+	for _, req := range r.Requests {
+		if !req.Served() {
+			continue
+		}
+		h := r.hourOf(req.PickedUpAt)
+		if h < 0 || h >= len(sums) {
+			continue
+		}
+		sums[h] += req.DrivingDelay.Seconds()
+		counts[h]++
+	}
+	for h := range sums {
+		if counts[h] > 0 {
+			sums[h] /= float64(counts[h])
+		}
+	}
+	return sums
+}
+
+// TimelinessSeconds returns rescue timeliness (s) for every served
+// request (Figure 13). Computation delay is included by construction:
+// orders only take effect after the dispatcher's modeled solve time.
+func (r *Result) TimelinessSeconds() []float64 {
+	var out []float64
+	for _, req := range r.Requests {
+		if req.Served() {
+			out = append(out, req.Timeliness().Seconds())
+		}
+	}
+	return out
+}
+
+// ServingPerHour returns the mean number of serving rescue teams per hour
+// (Figure 14), averaged over the dispatch rounds in each hour.
+func (r *Result) ServingPerHour() []float64 {
+	sums := make([]float64, r.hours())
+	counts := make([]int, r.hours())
+	for _, rs := range r.Rounds {
+		h := r.hourOf(rs.Time)
+		if h < 0 || h >= len(sums) {
+			continue
+		}
+		sums[h] += float64(rs.Serving)
+		counts[h]++
+	}
+	for h := range sums {
+		if counts[h] > 0 {
+			sums[h] /= float64(counts[h])
+		}
+	}
+	return sums
+}
+
+// MeanComputeDelay returns the dispatcher's average modeled computation
+// delay across rounds.
+func (r *Result) MeanComputeDelay() time.Duration {
+	if len(r.ComputeDelays) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.ComputeDelays {
+		sum += d
+	}
+	return sum / time.Duration(len(r.ComputeDelays))
+}

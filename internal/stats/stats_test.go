@@ -1,0 +1,361 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"constant", []float64{3, 3, 3, 3}, 3, 0},
+		{"simple", []float64{1, 2, 3, 4, 5}, 3, 2},
+		{"negative", []float64{-2, 2}, 0, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.mean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); !almostEqual(got, tt.variance, 1e-12) {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+			if got := StdDev(tt.xs); !almostEqual(got, math.Sqrt(tt.variance), 1e-12) {
+				t.Errorf("StdDev = %v", got)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	xs := []float64{3, -1, 7, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v, %v", mx, err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	tests := []struct {
+		name    string
+		xs, ys  []float64
+		want    float64
+		wantErr bool
+	}{
+		{"perfect positive", []float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}, 1, false},
+		{"perfect negative", []float64{1, 2, 3, 4}, []float64{8, 6, 4, 2}, -1, false},
+		{"affine positive", []float64{1, 2, 3}, []float64{10, 20, 30}, 1, false},
+		{"length mismatch", []float64{1, 2}, []float64{1}, 0, true},
+		{"too short", []float64{1}, []float64{1}, 0, true},
+		{"zero variance", []float64{1, 1, 1}, []float64{1, 2, 3}, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Pearson(tt.xs, tt.ys)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if !tt.wantErr && !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Pearson = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(xs []float64, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n < 3 {
+			return true
+		}
+		// Bound magnitudes so intermediate products stay finite.
+		bx := make([]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			bx[i] = math.Mod(xs[i], 1e6)
+			by[i] = math.Mod(ys[i], 1e6)
+		}
+		r, err := Pearson(bx, by)
+		if err != nil {
+			return true // degenerate input
+		}
+		return r >= -1.0000001 && r <= 1.0000001 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {75, 7.75},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("p<0 should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("p>100 should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Errorf("empty Summarize = %+v", zero)
+	}
+	if zero.String() == "" || s.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	for _, tt := range []struct {
+		p    float64
+		want float64
+	}{{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}} {
+		got, err := c.Quantile(tt.p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.p, err)
+		}
+		if got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := c.Quantile(1.5); err == nil {
+		t.Error("out of range p should error")
+	}
+	empty := NewCDF(nil)
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Error("empty CDF Quantile should error")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, probes []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, x := range probes {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 4 {
+		t.Errorf("range wrong: %+v", pts)
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("last point should have P=1, got %v", pts[len(pts)-1].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Errorf("non-monotone points at %d", i)
+		}
+	}
+	if got := NewCDF(nil).Points(5); got != nil {
+		t.Errorf("empty CDF Points = %v", got)
+	}
+	single := NewCDF([]float64{7}).Points(3)
+	if len(single) != 1 || single[0].P != 1 {
+		t.Errorf("degenerate Points = %+v", single)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10); clamping puts -5 in bin 0 and
+	// 10, 42 in bin 4.
+	wantCounts := []int{3, 1, 1, 0, 3}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if got := h.Fraction(0); !almostEqual(got, 3.0/8, 1e-12) {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		lo, hi float64
+		n      int
+	}{{"zero bins", 0, 1, 0}, {"bad range", 1, 1, 3}} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewHistogram(tt.lo, tt.hi, tt.n)
+		})
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		var o Online
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			o.Add(x)
+		}
+		if len(clean) == 0 {
+			return o.N() == 0 && o.Mean() == 0
+		}
+		scale := math.Max(1, math.Abs(Mean(clean)))
+		if !almostEqual(o.Mean(), Mean(clean), 1e-6*scale) {
+			return false
+		}
+		vScale := math.Max(1, Variance(clean))
+		return almostEqual(o.Variance(), Variance(clean), 1e-6*vScale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	// 3 TP, 1 FP, 4 TN, 2 FN
+	for i := 0; i < 3; i++ {
+		c.Observe(true, true)
+	}
+	c.Observe(true, false)
+	for i := 0; i < 4; i++ {
+		c.Observe(false, false)
+	}
+	for i := 0; i < 2; i++ {
+		c.Observe(false, true)
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); !almostEqual(got, 0.7, 1e-12) {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("Recall = %v", got)
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if got := c.F1(); !almostEqual(got, wantF1, 1e-12) {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should report zeros")
+	}
+	var other Confusion
+	other.Observe(true, true)
+	c.Merge(other)
+	if c.TP != 1 || c.Total() != 1 {
+		t.Errorf("Merge failed: %+v", c)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Errorf("Sum = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package svm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelWire is the serialized form of a Model.
+type modelWire struct {
+	KernelName string
+	Gamma      float64
+	SVX        [][]float64
+	SVY        []float64
+	Alpha      []float64
+	Bias       float64
+	Mean       []float64
+	Std        []float64
+}
+
+// Save writes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		KernelName: m.kernel.Name(),
+		SVX:        m.svX,
+		SVY:        m.svY,
+		Alpha:      m.alpha,
+		Bias:       m.bias,
+		Mean:       m.scaler.Mean,
+		Std:        m.scaler.Std,
+	}
+	if rbf, ok := m.kernel.(RBF); ok {
+		wire.Gamma = rbf.Gamma
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("svm: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("svm: decoding model: %w", err)
+	}
+	var kernel Kernel
+	switch wire.KernelName {
+	case "linear":
+		kernel = Linear{}
+	case "rbf":
+		kernel = RBF{Gamma: wire.Gamma}
+	default:
+		return nil, fmt.Errorf("svm: unknown kernel %q", wire.KernelName)
+	}
+	if len(wire.SVX) == 0 || len(wire.SVX) != len(wire.SVY) || len(wire.SVX) != len(wire.Alpha) {
+		return nil, fmt.Errorf("svm: corrupt model: %d SVs, %d labels, %d alphas",
+			len(wire.SVX), len(wire.SVY), len(wire.Alpha))
+	}
+	return &Model{
+		kernel: kernel,
+		svX:    wire.SVX,
+		svY:    wire.SVY,
+		alpha:  wire.Alpha,
+		bias:   wire.Bias,
+		scaler: &Scaler{Mean: wire.Mean, Std: wire.Std},
+	}, nil
+}

@@ -1,0 +1,51 @@
+package mobirescue
+
+import (
+	"testing"
+)
+
+func TestConfigsAreUsable(t *testing.T) {
+	full := DefaultScenarioConfig()
+	if full.People != 8590 {
+		t.Errorf("full population = %d, want the paper's 8590", full.People)
+	}
+	small := SmallScenarioConfig()
+	if small.People >= full.People {
+		t.Error("small scenario should be smaller than full")
+	}
+	sys := DefaultSystemConfig()
+	if sys.TrainEpisodes <= 0 {
+		t.Error("default system must train")
+	}
+	if sys.Sim.Period.Minutes() != 5 {
+		t.Errorf("dispatch period = %v, want the paper's 5 minutes", sys.Sim.Period)
+	}
+	if sys.Sim.Capacity != 5 {
+		t.Errorf("capacity = %d, want the paper's c=5", sys.Sim.Capacity)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	if len(MethodNames) != 3 {
+		t.Fatalf("MethodNames = %v", MethodNames)
+	}
+	want := []string{"MobiRescue", "Rescue", "Schedule"}
+	for i, name := range want {
+		if MethodNames[i] != name {
+			t.Errorf("MethodNames[%d] = %q, want %q", i, MethodNames[i], name)
+		}
+	}
+}
+
+func TestBuildScenarioRejectsBadConfig(t *testing.T) {
+	cfg := SmallScenarioConfig()
+	cfg.People = -1
+	if _, err := BuildScenario(cfg); err == nil {
+		t.Error("negative population should error")
+	}
+	cfg = SmallScenarioConfig()
+	cfg.Days = 1
+	if _, err := BuildScenario(cfg); err == nil {
+		t.Error("too-short window should error")
+	}
+}
