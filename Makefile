@@ -1,0 +1,28 @@
+# MobiRescue build/test entry points. `make verify` is what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Decide-latency and figure micro-benchmarks (quick sanity pass).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkDecide -benchtime 100x ./internal/dispatch
+
+verify: vet build race
+
+clean:
+	$(GO) clean ./...

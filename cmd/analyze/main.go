@@ -20,24 +20,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
 	var (
-		scale = flag.String("scale", "mid", "scenario scale: small, mid, or full")
+		scale = flag.String("scale", "mid", "scenario scale: "+core.ScaleNames)
 		seed  = flag.Int64("seed", 1, "random seed")
 		out   = flag.String("out", "all", "which output: table1, fig2..fig6, all")
 	)
 	flag.Parse()
 
-	var cfg core.ScenarioConfig
-	switch *scale {
-	case "small":
-		cfg = core.SmallScenarioConfig()
-	case "mid":
-		cfg = core.SmallScenarioConfig()
-		cfg.City.GridRows, cfg.City.GridCols = 6, 6
-		cfg.People = 2000
-	case "full":
-		cfg = core.DefaultScenarioConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+	cfg, err := core.ScenarioConfigForScale(*scale)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg.Seed = *seed
 	fmt.Fprintf(os.Stderr, "building %s scenario (seed %d)...\n", *scale, *seed)

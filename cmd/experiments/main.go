@@ -5,38 +5,59 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16] [-obs addr]
+//
+// The binary always collects metrics and spans and prints an end-of-run
+// report (top spans, key counters) on stderr. With -obs it additionally
+// serves /metrics, /healthz, /debug/vars and /debug/pprof/* live during
+// the run.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
-	"log"
+	"flag"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"mobirescue/internal/core"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/stats"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
 	var (
-		scale    = flag.String("scale", "mid", "scenario scale: small, mid, or full")
+		scale    = flag.String("scale", "mid", "scenario scale: "+core.ScaleNames)
 		episodes = flag.Int("episodes", 0, "RL training episodes (0 = config default)")
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests, like the paper)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fig      = flag.String("fig", "all", "which figure to print: all, 9..16, latency")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, slog.String("cmd", "experiments"))
 
-	sc, sys, err := buildSystem(*scale, *seed, *teams)
-	if err != nil {
-		log.Fatal(err)
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("mobirescue")
+	tracer := obs.NewTracer()
+	ctx := obs.ContextWithTracer(context.Background(), tracer)
+	if *obsAddr != "" {
+		server, err := obs.StartServer(*obsAddr, reg)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer server.Close()
+		logger.Info("observability server listening", slog.String("addr", server.Addr()))
 	}
+
+	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, reg, logger)
+	if err != nil {
+		fatal(logger, err)
+	}
+	defer obs.WriteReport(os.Stderr, reg, tracer)
 	fmt.Printf("# scenario: %d people, %d landmarks, %d segments, %d teams\n",
 		len(sc.Eval.Data.People), sc.City.Graph.NumLandmarks(), sc.City.Graph.NumSegments(), sys.Teams)
 	fmt.Printf("# eval day %d (peak), %d ground-truth requests\n",
@@ -45,14 +66,14 @@ func main() {
 	start := time.Now()
 	returns, err := sys.TrainRL(*episodes)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	fmt.Printf("# trained RL for %d episodes in %v (timely served per episode: %v)\n",
 		len(returns), time.Since(start).Round(time.Second), returns)
 
 	cmp, err := sys.RunComparison()
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 
@@ -77,7 +98,7 @@ func main() {
 	if want("15") || want("16") {
 		pq, err := sys.PredictionQuality()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		if want("15") {
 			printCDFs("Figure 15: CDF of per-segment prediction accuracy", map[string]*stats.CDF{
@@ -122,35 +143,34 @@ func main() {
 	}
 }
 
-// buildSystem constructs scenario and system at the requested scale.
-func buildSystem(scale string, seed int64, teams int) (*core.Scenario, *core.System, error) {
-	var scCfg core.ScenarioConfig
-	switch scale {
-	case "small":
-		scCfg = core.SmallScenarioConfig()
-	case "mid":
-		scCfg = core.SmallScenarioConfig()
-		scCfg.City.GridRows, scCfg.City.GridCols = 6, 6
-		scCfg.People = 2000
-	case "full":
-		scCfg = core.DefaultScenarioConfig()
-	default:
-		return nil, nil, fmt.Errorf("unknown scale %q", scale)
+// buildSystem constructs scenario and system at the requested scale,
+// wiring the metrics registry and logger through both.
+func buildSystem(ctx context.Context, scale string, seed int64, teams int, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
+	scCfg, err := core.ScenarioConfigForScale(scale)
+	if err != nil {
+		return nil, nil, err
 	}
 	scCfg.Seed = seed
-	fmt.Fprintf(os.Stderr, "building %s scenario (seed %d)...\n", scale, seed)
-	sc, err := core.BuildScenario(scCfg)
+	logger.Info("building scenario", slog.String("scale", scale), slog.Int64("seed", seed))
+	sc, err := core.BuildScenarioContext(ctx, scCfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	sysCfg := core.DefaultSystemConfig()
 	sysCfg.Seed = seed
 	sysCfg.Teams = teams
-	sys, err := core.NewSystem(sc, sysCfg)
+	sysCfg.Metrics = reg
+	sysCfg.Logger = logger
+	sys, err := core.NewSystemContext(ctx, sc, sysCfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return sc, sys, nil
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }
 
 func sortedNames(m map[string][]int, mf map[string][]float64, mc map[string]*stats.CDF) []string {

@@ -22,24 +22,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("genscenario: ")
 	var (
-		scale    = flag.String("scale", "small", "scenario scale: small, mid, or full")
+		scale    = flag.String("scale", "small", "scenario scale: "+core.ScaleNames)
 		seed     = flag.Int64("seed", 1, "random seed")
 		cityPath = flag.String("city", "", "write the city road network JSON here")
 	)
 	flag.Parse()
 
-	var cfg core.ScenarioConfig
-	switch *scale {
-	case "small":
-		cfg = core.SmallScenarioConfig()
-	case "mid":
-		cfg = core.SmallScenarioConfig()
-		cfg.City.GridRows, cfg.City.GridCols = 6, 6
-		cfg.People = 2000
-	case "full":
-		cfg = core.DefaultScenarioConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+	cfg, err := core.ScenarioConfigForScale(*scale)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg.Seed = *seed
 	sc, err := core.BuildScenario(cfg)

@@ -3,62 +3,94 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-obs addr] [-report]
+//
+// With -obs the process serves /metrics (Prometheus text format),
+// /healthz, /debug/vars, and /debug/pprof/* on the given address for the
+// whole run, then keeps serving until interrupted so the final metric
+// values stay scrapeable. -report prints the span/metric report on
+// stderr at the end of the run (implied by -obs).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
+	"os/signal"
 	"time"
 
 	"mobirescue/internal/core"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/stats"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mobirescue: ")
 	var (
 		method   = flag.String("method", "mr", "dispatch method: mr, rescue, or schedule")
-		scale    = flag.String("scale", "small", "scenario scale: small, mid, or full")
+		scale    = flag.String("scale", "small", "scenario scale: "+core.ScaleNames)
 		episodes = flag.Int("episodes", 6, "RL training episodes (mr only)")
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		report   = flag.Bool("report", false, "print the span/metric report on stderr after the run")
+		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level, slog.String("cmd", "mobirescue"))
 
-	var cfg core.ScenarioConfig
-	switch *scale {
-	case "small":
-		cfg = core.SmallScenarioConfig()
-	case "mid":
-		cfg = core.SmallScenarioConfig()
-		cfg.City.GridRows, cfg.City.GridCols = 6, 6
-		cfg.People = 2000
-	case "full":
-		cfg = core.DefaultScenarioConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+	cfg, err := core.ScenarioConfigForScale(*scale)
+	if err != nil {
+		fatal(logger, err)
 	}
 	cfg.Seed = *seed
-	fmt.Fprintf(os.Stderr, "building %s scenario...\n", *scale)
-	sc, err := core.BuildScenario(cfg)
+
+	// Observability: a registry + tracer when -obs or -report is set.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		ctx    = context.Background()
+	)
+	if *obsAddr != "" || *report {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer()
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		reg.PublishExpvar("mobirescue")
+	}
+	var server *obs.Server
+	if *obsAddr != "" {
+		server, err = obs.StartServer(*obsAddr, reg)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("observability server listening",
+			slog.String("addr", server.Addr()),
+			slog.String("metrics", "http://"+server.Addr()+"/metrics"))
+	}
+
+	logger.Info("building scenario", slog.String("scale", *scale), slog.Int64("seed", *seed))
+	sc, err := core.BuildScenarioContext(ctx, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	sysCfg := core.DefaultSystemConfig()
 	sysCfg.Seed = *seed
 	sysCfg.Teams = *teams
-	sys, err := core.NewSystem(sc, sysCfg)
+	sysCfg.Metrics = reg
+	sysCfg.Logger = logger
+	sys, err := core.NewSystemContext(ctx, sc, sysCfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 
 	res, err := sys.RunMethod(*method, *episodes)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	fmt.Printf("method:        %s\n", res.Method)
 	fmt.Printf("requests:      %d\n", len(res.Requests))
@@ -77,4 +109,24 @@ func main() {
 		p90, _ := cdf.Quantile(0.9)
 		fmt.Printf("timeliness:    median %.0fs, p90 %.0fs\n", med, p90)
 	}
+
+	if *report || *obsAddr != "" {
+		obs.WriteReport(os.Stderr, reg, tracer)
+	}
+	if server != nil {
+		// Keep serving so the final metric values stay scrapeable.
+		logger.Info("run complete; serving metrics until interrupted",
+			slog.String("addr", server.Addr()))
+		sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		<-sigCtx.Done()
+		stop()
+		if err := server.Close(); err != nil {
+			logger.Warn("closing observability server", slog.Any("err", err))
+		}
+	}
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

@@ -9,6 +9,7 @@ import (
 
 	"mobirescue/internal/geo"
 	"mobirescue/internal/mobility"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/svm"
 	"mobirescue/internal/weather"
@@ -86,12 +87,19 @@ func BuildSVMTrainingSet(city *roadnet.City, ep *Episode, elev func(geo.Point) f
 // TrainSVM fits the rescue-decision SVM (Equation 1) on the training
 // episode.
 func TrainSVM(city *roadnet.City, ep *Episode, elev func(geo.Point) float64, seed int64) (*svm.Model, error) {
+	return TrainSVMObserved(city, ep, elev, seed, nil)
+}
+
+// TrainSVMObserved is TrainSVM with SMO training telemetry registered in
+// reg (nil reg disables telemetry, matching TrainSVM).
+func TrainSVMObserved(city *roadnet.City, ep *Episode, elev func(geo.Point) float64, seed int64, reg *obs.Registry) (*svm.Model, error) {
 	x, y, err := BuildSVMTrainingSet(city, ep, elev, seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg := svm.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Metrics = reg
 	// A linear kernel extrapolates monotonically in the factor space
 	// (more rain, more wind, lower ground -> more dangerous), which
 	// transfers better across storms of different intensity than RBF.

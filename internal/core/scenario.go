@@ -7,12 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mobirescue/internal/flood"
 	"mobirescue/internal/geo"
 	"mobirescue/internal/mobility"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/weather"
 )
@@ -53,6 +55,35 @@ func SmallScenarioConfig() ScenarioConfig {
 	cfg.People = 400
 	cfg.TrapHazardPerHour = 0.04
 	return cfg
+}
+
+// MidScenarioConfig returns the intermediate scale the experiment
+// binaries default to: the small city grown to a 6×6 grid with 2,000
+// people.
+func MidScenarioConfig() ScenarioConfig {
+	cfg := SmallScenarioConfig()
+	cfg.City.GridRows, cfg.City.GridCols = 6, 6
+	cfg.People = 2000
+	return cfg
+}
+
+// ScaleNames lists the scenario scales ScenarioConfigForScale accepts,
+// for flag help strings.
+const ScaleNames = "small, mid, or full"
+
+// ScenarioConfigForScale maps a -scale flag value to its configuration —
+// the single definition shared by every cmd/ binary.
+func ScenarioConfigForScale(scale string) (ScenarioConfig, error) {
+	switch scale {
+	case "small":
+		return SmallScenarioConfig(), nil
+	case "mid":
+		return MidScenarioConfig(), nil
+	case "full":
+		return DefaultScenarioConfig(), nil
+	default:
+		return ScenarioConfig{}, fmt.Errorf("core: unknown scale %q (want %s)", scale, ScaleNames)
+	}
 }
 
 // Episode bundles one disaster's worth of world state: the storm, its
@@ -106,6 +137,15 @@ func (e *Episode) Disaster(g *roadnet.Graph) historyDisaster {
 // BuildScenario constructs the world: generates the city, simulates both
 // hurricanes' floods, and generates both mobility datasets.
 func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
+	return BuildScenarioContext(context.Background(), cfg)
+}
+
+// BuildScenarioContext is BuildScenario with tracing: when ctx carries an
+// obs tracer it records a scenario.build span with per-stage children
+// (city generation, each episode's flood + mobility synthesis).
+func BuildScenarioContext(ctx context.Context, cfg ScenarioConfig) (*Scenario, error) {
+	ctx, buildSpan := obs.StartSpan(ctx, "scenario.build")
+	defer buildSpan.End()
 	if cfg.People <= 0 {
 		return nil, fmt.Errorf("core: People must be positive")
 	}
@@ -113,7 +153,9 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 		return nil, fmt.Errorf("core: need at least 7 days (before/during/after), got %d", cfg.Days)
 	}
 	cfg.City.Seed = cfg.Seed
+	_, citySpan := obs.StartSpan(ctx, "scenario.city")
 	city, err := roadnet.GenerateCity(cfg.City)
+	citySpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: generating city: %w", err)
 	}
@@ -122,20 +164,27 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 	sc := &Scenario{Config: cfg, City: city, Elev: elevFn}
 	bbox := city.Graph.BBox().Pad(3000)
 
-	build := func(storm *weather.Hurricane, mobCfg mobility.Config) (*Episode, error) {
+	build := func(name string, storm *weather.Hurricane, mobCfg mobility.Config) (*Episode, error) {
+		epCtx, epSpan := obs.StartSpan(ctx, "scenario.episode."+name)
+		defer epSpan.End()
 		if err := storm.Validate(); err != nil {
 			return nil, err
 		}
+		_, floodSpan := obs.StartSpan(epCtx, "flood.history")
 		model, err := flood.NewModel(storm, elevFn, bbox, mobCfg.Start, cfg.FloodParams)
 		if err != nil {
+			floodSpan.End()
 			return nil, err
 		}
 		hist, err := flood.NewHistory(model, mobCfg.Days*24)
+		floodSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		ep := &Episode{Storm: storm, Flood: hist}
+		_, mobSpan := obs.StartSpan(epCtx, "mobility.generate")
 		data, err := mobility.Generate(city, historyDisaster{h: hist, g: city.Graph}, elevFn, mobCfg)
+		mobSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +201,7 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 		evalCfg.TrapHazardPerHour = cfg.TrapHazardPerHour
 	}
 	evalStorm := weather.FlorencePreset(evalCfg.DisasterStart, cfg.City.Center)
-	evalEp, err := build(evalStorm, evalCfg)
+	evalEp, err := build("eval", evalStorm, evalCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building eval episode: %w", err)
 	}
@@ -166,7 +215,7 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 	trainCfg.DisasterStart = trainCfg.Start.Add(2 * 24 * time.Hour)
 	trainCfg.DisasterEnd = trainCfg.DisasterStart.Add(60 * time.Hour)
 	trainStorm := weather.MichaelPreset(trainCfg.DisasterStart, cfg.City.Center)
-	trainEp, err := build(trainStorm, trainCfg)
+	trainEp, err := build("train", trainStorm, trainCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building training episode: %w", err)
 	}

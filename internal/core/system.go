@@ -1,16 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"time"
 
 	"mobirescue/internal/dispatch"
 	"mobirescue/internal/ilp"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 	"mobirescue/internal/svm"
 	"mobirescue/internal/tsa"
+)
+
+// Exported core-level metric names (see README "Observability").
+const (
+	MetricTrainEpisodes      = "mobirescue_core_train_episodes_total"
+	MetricEpisodeTimely      = "mobirescue_core_train_episode_timely_served"
+	MetricEvaluationDays     = "mobirescue_core_evaluation_days_total"
+	MetricSVMTrainingSeconds = "mobirescue_core_svm_training_seconds"
 )
 
 // SystemConfig tunes model training and the evaluation run.
@@ -30,6 +41,14 @@ type SystemConfig struct {
 	Sim sim.Config
 	// IPLatency models the baselines' integer-programming solve time.
 	IPLatency ilp.LatencyModel
+	// Metrics, when non-nil, wires observability through the whole stack:
+	// SVM training/prediction counters, RL training telemetry, ILP solver
+	// stats, and the simulator's per-method decision-latency histograms.
+	// Nil — the default — disables all of it at ~zero cost.
+	Metrics *obs.Registry
+	// Logger, when non-nil, is handed to the simulator for structured
+	// per-round and end-of-run records.
+	Logger *slog.Logger
 }
 
 // DefaultSystemConfig returns the paper-matching defaults.
@@ -56,17 +75,45 @@ type System struct {
 	EvalProvider  *PredictProvider
 	MR            *dispatch.MobiRescue
 	Teams         int
+
+	// baseCtx carries the obs tracer (if any) into runs started through
+	// the ctx-less exported methods.
+	baseCtx context.Context
+	// trainEpisodes / episodeTimely are the RL-training telemetry handles
+	// (nil when Config.Metrics is nil).
+	trainEpisodes *obs.Counter
+	episodeTimely *obs.Gauge
+	evalDays      *obs.Counter
 }
 
 // NewSystem trains the SVM on the training episode and wires up the RL
 // dispatcher (untrained until TrainRL runs).
 func NewSystem(sc *Scenario, cfg SystemConfig) (*System, error) {
+	return NewSystemContext(context.Background(), sc, cfg)
+}
+
+// NewSystemContext is NewSystem with tracing: ctx's obs tracer (if any)
+// records the svm.train span here and is reused for every later run the
+// system starts (RL training days, evaluation days).
+func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*System, error) {
 	if sc == nil {
 		return nil, fmt.Errorf("core: scenario required")
 	}
-	model, err := TrainSVM(sc.City, sc.Train, sc.Elev, cfg.Seed)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	svmStart := time.Now()
+	_, svmSpan := obs.StartSpan(ctx, "svm.train")
+	model, err := TrainSVMObserved(sc.City, sc.Train, sc.Elev, cfg.Seed, cfg.Metrics)
+	svmSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Histogram(MetricSVMTrainingSeconds,
+			"Wall-clock SVM training time.", obs.DefSecondsBuckets).ObserveSince(svmStart)
+		model.EnableMetrics(cfg.Metrics)
+		ilp.EnableMetrics(cfg.Metrics)
 	}
 	trainProv, err := NewPredictProvider(sc.City, sc.Train, model, sc.Elev)
 	if err != nil {
@@ -90,6 +137,11 @@ func NewSystem(sc *Scenario, cfg SystemConfig) (*System, error) {
 	mrCfg := cfg.MR
 	mrCfg.Capacity = cfgCapacity(cfg.Sim)
 	mrCfg.Agent.Seed = cfg.Seed
+	// Thread the registry and logger into every simulation run.
+	cfg.Sim.Metrics = cfg.Metrics
+	if cfg.Sim.Logger == nil {
+		cfg.Sim.Logger = cfg.Logger
+	}
 	// The provider is swapped between training and evaluation via the
 	// active pointer below.
 	sys := &System{
@@ -99,6 +151,12 @@ func NewSystem(sc *Scenario, cfg SystemConfig) (*System, error) {
 		TrainProvider: trainProv,
 		EvalProvider:  evalProv,
 		Teams:         teams,
+		baseCtx:       ctx,
+	}
+	if cfg.Metrics != nil {
+		sys.trainEpisodes = cfg.Metrics.Counter(MetricTrainEpisodes, "RL training episodes completed.")
+		sys.episodeTimely = cfg.Metrics.Gauge(MetricEpisodeTimely, "Timely served requests in the last training episode.")
+		sys.evalDays = cfg.Metrics.Counter(MetricEvaluationDays, "Evaluation-day simulations run.")
 	}
 	mr, err := dispatch.NewMobiRescue(sc.City.NumRegions(), func(t time.Time) map[roadnet.SegmentID]float64 {
 		return sys.activeProvider(t).Predict(t)
@@ -106,6 +164,7 @@ func NewSystem(sc *Scenario, cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	mr.EnableMetrics(cfg.Metrics)
 	sys.MR = mr
 	return sys, nil
 }
@@ -167,7 +226,9 @@ func VehicleStarts(city *roadnet.City, n int, seed int64) ([]roadnet.Position, e
 func (s *System) simConfigForDay(ep *Episode, day int) sim.Config {
 	cfg := s.Config.Sim
 	if cfg.Step <= 0 {
+		metrics, logger := cfg.Metrics, cfg.Logger
 		cfg = sim.DefaultConfig(time.Time{})
+		cfg.Metrics, cfg.Logger = metrics, logger
 	}
 	cfg.Start = ep.Data.Config.Start.Add(time.Duration(day) * 24 * time.Hour)
 	if cfg.Duration <= 0 {
@@ -177,7 +238,9 @@ func (s *System) simConfigForDay(ep *Episode, day int) sim.Config {
 }
 
 // runDay simulates one episode day under the given dispatcher.
-func (s *System) runDay(ep *Episode, day int, disp sim.Dispatcher) (*sim.Result, error) {
+func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher) (*sim.Result, error) {
+	ctx, daySpan := obs.StartSpan(ctx, "sim.day")
+	defer daySpan.End()
 	cfg := s.simConfigForDay(ep, day)
 	requests := RequestsForDay(ep, day)
 	starts, err := VehicleStarts(s.Scenario.City, s.Teams, s.Config.Seed)
@@ -192,7 +255,16 @@ func (s *System) runDay(ep *Episode, day int, disp sim.Dispatcher) (*sim.Result,
 	if err != nil {
 		return nil, err
 	}
-	return simulator.Run()
+	return simulator.RunContext(ctx)
+}
+
+// ctx returns the context the system was built with (carrying the obs
+// tracer, if any).
+func (s *System) ctx() context.Context {
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
 }
 
 // TrainRL trains the MobiRescue dispatcher online by replaying the
@@ -202,17 +274,24 @@ func (s *System) TrainRL(episodes int) ([]float64, error) {
 	if episodes <= 0 {
 		episodes = s.Config.TrainEpisodes
 	}
+	ctx, trainSpan := obs.StartSpan(s.ctx(), "rl.train")
+	defer trainSpan.End()
 	day := s.Scenario.Train.PeakRequestDay()
 	s.MR.SetTraining(true)
 	defer s.MR.SetTraining(false)
 	returns := make([]float64, 0, episodes)
 	for e := 0; e < episodes; e++ {
-		res, err := s.runDay(s.Scenario.Train, day, s.MR)
+		epCtx, epSpan := obs.StartSpan(ctx, "rl.episode")
+		res, err := s.runDay(epCtx, s.Scenario.Train, day, s.MR)
+		epSpan.End()
 		if err != nil {
 			return returns, fmt.Errorf("core: training episode %d: %w", e, err)
 		}
 		s.MR.EndEpisode()
-		returns = append(returns, float64(res.TotalTimelyServed()))
+		timely := float64(res.TotalTimelyServed())
+		s.trainEpisodes.Inc()
+		s.episodeTimely.Set(timely)
+		returns = append(returns, timely)
 	}
 	return returns, nil
 }
@@ -261,25 +340,33 @@ func (s *System) RunMethod(method string, episodes int) (*sim.Result, error) {
 			}
 		}
 		s.MR.SetTraining(false)
-		return s.runDay(s.Scenario.Eval, day, s.MR)
+		return s.runEvalDay(day, s.MR)
 	case "rescue", "Rescue":
 		rescue, err := s.NewRescueBaseline()
 		if err != nil {
 			return nil, err
 		}
-		return s.runDay(s.Scenario.Eval, day, rescue)
+		return s.runEvalDay(day, rescue)
 	case "schedule", "Schedule":
-		return s.runDay(s.Scenario.Eval, day, dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency))
+		return s.runEvalDay(day, dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency))
 	default:
 		return nil, fmt.Errorf("core: unknown method %q (want mr, rescue, or schedule)", method)
 	}
+}
+
+// runEvalDay runs one evaluation-day simulation under an eval.run span.
+func (s *System) runEvalDay(day int, disp sim.Dispatcher) (*sim.Result, error) {
+	ctx, span := obs.StartSpan(s.ctx(), "eval.run."+disp.Name())
+	defer span.End()
+	s.evalDays.Inc()
+	return s.runDay(ctx, s.Scenario.Eval, day, disp)
 }
 
 // RunDispatcher runs an arbitrary dispatcher over the evaluation
 // episode's peak request day — the hook ablation studies use to swap in
 // modified baselines.
 func (s *System) RunDispatcher(disp sim.Dispatcher) (*sim.Result, error) {
-	return s.runDay(s.Scenario.Eval, s.Scenario.Eval.PeakRequestDay(), disp)
+	return s.runEvalDay(s.Scenario.Eval.PeakRequestDay(), disp)
 }
 
 // RunComparison evaluates MobiRescue and both baselines on the
@@ -289,7 +376,7 @@ func (s *System) RunComparison() (*Comparison, error) {
 	cmp := &Comparison{Day: day, Teams: s.Teams, Results: make(map[string]*sim.Result)}
 
 	s.MR.SetTraining(false)
-	mrRes, err := s.runDay(s.Scenario.Eval, day, s.MR)
+	mrRes, err := s.runEvalDay(day, s.MR)
 	if err != nil {
 		return nil, fmt.Errorf("core: MobiRescue run: %w", err)
 	}
@@ -299,14 +386,14 @@ func (s *System) RunComparison() (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	rescueRes, err := s.runDay(s.Scenario.Eval, day, rescue)
+	rescueRes, err := s.runEvalDay(day, rescue)
 	if err != nil {
 		return nil, fmt.Errorf("core: Rescue run: %w", err)
 	}
 	cmp.Results["Rescue"] = rescueRes
 
 	schedule := dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency)
-	scheduleRes, err := s.runDay(s.Scenario.Eval, day, schedule)
+	scheduleRes, err := s.runEvalDay(day, schedule)
 	if err != nil {
 		return nil, fmt.Errorf("core: Schedule run: %w", err)
 	}

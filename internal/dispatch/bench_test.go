@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"mobirescue/internal/ilp"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/tsa"
+)
+
+// benchSnapshot builds a representative dispatch state on the shared
+// 4x4 test city: one team at every hospital and a request on the first
+// segment of every region — busy enough to exercise the assignment
+// logic without drowning the benchmark in setup.
+func benchSnapshot(b *testing.B, city *roadnet.City) (vehicles []roadnet.LandmarkID, reqs []roadnet.SegmentID) {
+	b.Helper()
+	vehicles = append(vehicles, city.Hospitals...)
+	byRegion := city.Graph.SegmentIDsByRegion()
+	for r := 1; r <= city.NumRegions(); r++ {
+		if segs := byRegion[r]; len(segs) > 0 {
+			reqs = append(reqs, segs[0])
+		}
+	}
+	return vehicles, reqs
+}
+
+// benchPrediction spreads predicted demand over a few segments per
+// region, the shape the SVM predictor produces at query time.
+func benchPrediction(city *roadnet.City) map[roadnet.SegmentID]float64 {
+	pred := make(map[roadnet.SegmentID]float64)
+	byRegion := city.Graph.SegmentIDsByRegion()
+	for r := 1; r <= city.NumRegions(); r++ {
+		for i, seg := range byRegion[r] {
+			if i >= 3 {
+				break
+			}
+			pred[seg] = float64(r + i)
+		}
+	}
+	return pred
+}
+
+// BenchmarkDecideMobiRescue measures one RL dispatch decision (greedy
+// inference, no training) — the paper's sub-second path (Figure 18).
+func BenchmarkDecideMobiRescue(b *testing.B) {
+	city := testCity(b)
+	m, err := NewMobiRescue(city.NumRegions(), constPredict(benchPrediction(city)), DefaultMRConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vehicles, reqs := benchSnapshot(b, city)
+	snap := testSnapshot(b, city, vehicles, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if orders, _ := m.Decide(snap); len(orders) == 0 {
+			b.Fatal("no orders")
+		}
+	}
+}
+
+// BenchmarkDecideRescue measures one TSA+Hungarian dispatch decision
+// (the modeled IP latency is returned, not slept, so this is pure
+// computation).
+func BenchmarkDecideRescue(b *testing.B) {
+	city := testCity(b)
+	pred, err := tsa.New(3, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Seed yesterday's demand so the predictor has history to work from.
+	byRegion := city.Graph.SegmentIDsByRegion()
+	for r := 1; r <= city.NumRegions(); r++ {
+		pred.Observe(int(byRegion[r][0]), 10, float64(r))
+	}
+	rd := NewRescue(pred, dispStart.Add(-24*time.Hour), ilp.PaperLatency())
+	vehicles, reqs := benchSnapshot(b, city)
+	snap := testSnapshot(b, city, vehicles, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if orders, _ := rd.Decide(snap); len(orders) == 0 {
+			b.Fatal("no orders")
+		}
+	}
+}
+
+// BenchmarkDecideSchedule measures one free-flow IP assignment decision.
+func BenchmarkDecideSchedule(b *testing.B) {
+	city := testCity(b)
+	s := NewSchedule(city.Graph, ilp.PaperLatency())
+	vehicles, reqs := benchSnapshot(b, city)
+	snap := testSnapshot(b, city, vehicles, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if orders, _ := s.Decide(snap); len(orders) == 0 {
+			b.Fatal("no orders")
+		}
+	}
+}

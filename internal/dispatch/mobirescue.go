@@ -8,10 +8,28 @@ import (
 	"time"
 
 	"mobirescue/internal/ilp"
+	"mobirescue/internal/obs"
 	"mobirescue/internal/rl"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 )
+
+// Exported MobiRescue-specific metric names (see README "Observability").
+const (
+	MetricMRDecisions      = "mobirescue_mr_decisions_total"
+	MetricMRDepot          = "mobirescue_mr_depot_decisions_total"
+	MetricMRGuardOverrides = "mobirescue_mr_guard_overrides_total"
+	MetricMRCoverRedirects = "mobirescue_mr_cover_redirects_total"
+)
+
+// mrMetrics are the dispatcher's optional counters; all fields are nil
+// (no-op) until EnableMetrics is called.
+type mrMetrics struct {
+	decisions      *obs.Counter
+	depot          *obs.Counter
+	guardOverrides *obs.Counter
+	coverRedirects *obs.Counter
+}
 
 // MRConfig tunes the MobiRescue dispatcher.
 type MRConfig struct {
@@ -82,6 +100,7 @@ type MobiRescue struct {
 	// coverage pass knows which request segments already have a team
 	// inbound.
 	assigned map[sim.VehicleID]roadnet.SegmentID
+	met      mrMetrics
 }
 
 var _ sim.Dispatcher = (*MobiRescue)(nil)
@@ -116,6 +135,22 @@ func NewMobiRescue(numRegions int, predict PredictFn, cfg MRConfig) (*MobiRescue
 
 // Name implements sim.Dispatcher.
 func (m *MobiRescue) Name() string { return "MobiRescue" }
+
+// EnableMetrics registers the dispatcher's decision counters with reg and
+// wires the underlying DQN's training telemetry. A nil registry is a
+// no-op; the default (metrics disabled) costs nothing on the hot path.
+func (m *MobiRescue) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = mrMetrics{
+		decisions:      reg.Counter(MetricMRDecisions, "RL policy decisions taken."),
+		depot:          reg.Counter(MetricMRDepot, "Decisions that sent a team to the depot."),
+		guardOverrides: reg.Counter(MetricMRGuardOverrides, "Depot choices overridden by the deployment guard."),
+		coverRedirects: reg.Counter(MetricMRCoverRedirects, "Teams redirected by the waiting-request coverage pass."),
+	}
+	m.agent.EnableMetrics(reg)
+}
 
 // SetTraining toggles online learning and exploration.
 func (m *MobiRescue) SetTraining(on bool) { m.training = on }
@@ -302,8 +337,10 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 			regionMask[m.depotAction()] = false
 			if a := m.agent.Greedy(state, regionMask); a >= 0 {
 				action = a
+				m.met.guardOverrides.Inc()
 			}
 		}
+		m.met.decisions.Inc()
 		if action != m.depotAction() {
 			working++
 		}
@@ -357,6 +394,7 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 			m.assigned[v.ID] = target
 			orders = append(orders, sim.Order{Vehicle: v.ID, Target: target})
 		} else {
+			m.met.depot.Inc()
 			orders = append(orders, sim.Order{Vehicle: v.ID, ToDepot: true})
 		}
 		m.last[v.ID] = &decision{
@@ -489,6 +527,7 @@ func (m *MobiRescue) coverWaitingRequests(snap *sim.Snapshot, orders []sim.Order
 		} else {
 			orders = append(orders, sim.Order{Vehicle: c.vehicle, Target: seg})
 		}
+		m.met.coverRedirects.Inc()
 		m.assigned[c.vehicle] = seg
 		// Attribute the executed action to the segment's region so the
 		// learner values what actually happened.

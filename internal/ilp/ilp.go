@@ -46,6 +46,8 @@ func Hungarian(cost [][]float64) (assign []int, total float64, err error) {
 	if m > size {
 		size = m
 	}
+	solveStart := time.Now()
+	defer func() { observeHungarian(solveStart, size) }()
 	// big must dominate any feasible total without overflowing.
 	big := 1.0
 	for i := 0; i < n; i++ {
@@ -290,8 +292,10 @@ func Solve01(p Problem, maxNodes int) (Solution, error) {
 		}
 		x[j] = false
 	}
+	solveStart := time.Now()
 	dfs(0, 0)
 	best.Nodes = nodes
+	observeSolve01(solveStart, nodes)
 	if math.IsInf(best.Objective, 1) {
 		if capped {
 			return best, fmt.Errorf("ilp: node budget %d exhausted with no incumbent", maxNodes)

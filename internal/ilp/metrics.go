@@ -1,0 +1,76 @@
+package ilp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mobirescue/internal/obs"
+)
+
+// Exported ILP metric names (see README "Observability").
+const (
+	MetricHungarianSolves  = "mobirescue_ilp_hungarian_solves_total"
+	MetricHungarianSeconds = "mobirescue_ilp_hungarian_seconds"
+	MetricHungarianSize    = "mobirescue_ilp_hungarian_matrix_size"
+	MetricSolve01Solves    = "mobirescue_ilp_solve01_solves_total"
+	MetricSolve01Nodes     = "mobirescue_ilp_solve01_nodes_total"
+	MetricSolve01Seconds   = "mobirescue_ilp_solve01_seconds"
+)
+
+// ilpMetrics bundles the solver telemetry handles.
+type ilpMetrics struct {
+	hungSolves  *obs.Counter
+	hungSeconds *obs.Histogram
+	hungSize    *obs.Histogram
+	bbSolves    *obs.Counter
+	bbNodes     *obs.Counter
+	bbSeconds   *obs.Histogram
+}
+
+// metricsPtr holds the active telemetry set. Hungarian and Solve01 are
+// pure functions called from several dispatchers, so the hook is
+// package-level; a nil pointer (the default) keeps the solvers untouched
+// apart from one atomic load.
+var metricsPtr atomic.Pointer[ilpMetrics]
+
+// EnableMetrics registers solver telemetry (solve counts, solve-time
+// histograms, branch-and-bound nodes explored) with reg. Nil reg
+// disables telemetry again.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metricsPtr.Store(nil)
+		return
+	}
+	sizeBuckets := []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	metricsPtr.Store(&ilpMetrics{
+		hungSolves:  reg.Counter(MetricHungarianSolves, "Hungarian assignment solves."),
+		hungSeconds: reg.Histogram(MetricHungarianSeconds, "Wall-clock Hungarian solve time.", obs.DefSecondsBuckets),
+		hungSize:    reg.Histogram(MetricHungarianSize, "Hungarian matrix dimension max(rows, cols).", sizeBuckets),
+		bbSolves:    reg.Counter(MetricSolve01Solves, "0/1 branch-and-bound solves."),
+		bbNodes:     reg.Counter(MetricSolve01Nodes, "Branch-and-bound nodes explored."),
+		bbSeconds:   reg.Histogram(MetricSolve01Seconds, "Wall-clock 0/1 solve time.", obs.DefSecondsBuckets),
+	})
+}
+
+// observeHungarian records one Hungarian solve (no-op when disabled).
+func observeHungarian(start time.Time, size int) {
+	m := metricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.hungSolves.Inc()
+	m.hungSeconds.ObserveSince(start)
+	m.hungSize.Observe(float64(size))
+}
+
+// observeSolve01 records one branch-and-bound solve (no-op when
+// disabled).
+func observeSolve01(start time.Time, nodes int) {
+	m := metricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.bbSolves.Inc()
+	m.bbNodes.Add(int64(nodes))
+	m.bbSeconds.ObserveSince(start)
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the pipeline's shared structured logger: a text
+// handler on w at the given level, with the given attributes (scenario,
+// seed, method, ...) attached to every record.
+func NewLogger(w io.Writer, level slog.Level, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	if len(attrs) > 0 {
+		return slog.New(h.WithAttrs(attrs))
+	}
+	return slog.New(h)
+}
+
+// discardHandler drops every record (slog.DiscardHandler arrived after
+// this module's Go floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that discards everything — the safe default
+// for components whose caller did not supply one.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport prints the end-of-run observability report: the aggregated
+// span tree (top spans with counts and durations) followed by every
+// registered metric. Either argument may be nil.
+func WriteReport(w io.Writer, reg *Registry, tr *Tracer) {
+	if tr != nil && len(tr.Roots()) > 0 {
+		fmt.Fprintln(w, "== spans (count × total / mean) ==")
+		tr.WriteReport(w)
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "== metrics ==")
+		reg.WriteSummary(w)
+	}
+}

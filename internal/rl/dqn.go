@@ -6,7 +6,30 @@ import (
 	"math/rand"
 
 	"mobirescue/internal/nn"
+	"mobirescue/internal/obs"
 )
+
+// Exported RL training telemetry metric names (see README
+// "Observability").
+const (
+	MetricEnvSteps      = "mobirescue_rl_env_steps_total"
+	MetricLearnSteps    = "mobirescue_rl_learn_steps_total"
+	MetricReplaySize    = "mobirescue_rl_replay_occupancy"
+	MetricEpsilon       = "mobirescue_rl_epsilon"
+	MetricBatchLoss     = "mobirescue_rl_batch_loss"
+	MetricEpisodeReturn = "mobirescue_rl_episode_return"
+)
+
+// dqnMetrics holds the agent's optional telemetry handles; the zero value
+// (all nil) is a free no-op.
+type dqnMetrics struct {
+	envSteps      *obs.Counter
+	learnSteps    *obs.Counter
+	replaySize    *obs.Gauge
+	epsilon       *obs.Gauge
+	batchLoss     *obs.Gauge
+	episodeReturn *obs.Histogram
+}
 
 // DQNConfig tunes the deep Q-learning agent.
 type DQNConfig struct {
@@ -68,6 +91,7 @@ type DQN struct {
 	steps   int // environment steps observed
 	learnN  int // learning steps taken
 	nAction int
+	met     dqnMetrics
 }
 
 // NewDQN builds an agent for the given state/action sizes.
@@ -97,6 +121,25 @@ func NewDQN(stateSize, numActions int, cfg DQNConfig) (*DQN, error) {
 		grad:    make([]float64, online.NumParams()),
 		nAction: numActions,
 	}, nil
+}
+
+// EnableMetrics registers the agent's training telemetry (environment
+// and learning step counters, replay occupancy, exploration rate, batch
+// loss, episode returns) with reg. Nil reg is a no-op; telemetry is
+// disabled (and free) by default.
+func (d *DQN) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.met = dqnMetrics{
+		envSteps:   reg.Counter(MetricEnvSteps, "RL transitions observed."),
+		learnSteps: reg.Counter(MetricLearnSteps, "Gradient steps taken."),
+		replaySize: reg.Gauge(MetricReplaySize, "Transitions currently in the replay buffer."),
+		epsilon:    reg.Gauge(MetricEpsilon, "Current exploration rate."),
+		batchLoss:  reg.Gauge(MetricBatchLoss, "Mean squared TD error of the last minibatch."),
+		episodeReturn: reg.Histogram(MetricEpisodeReturn, "Total reward per training episode.",
+			[]float64{-100, -10, 0, 10, 50, 100, 250, 500, 1000, 2500, 5000, 10000}),
+	}
 }
 
 // Epsilon returns the current exploration rate.
@@ -133,6 +176,9 @@ func (d *DQN) Greedy(state []float64, mask []bool) int {
 func (d *DQN) Observe(t Transition) {
 	d.replay.Add(t)
 	d.steps++
+	d.met.envSteps.Inc()
+	d.met.replaySize.Set(float64(d.replay.Len()))
+	d.met.epsilon.Set(d.Epsilon())
 	if d.replay.Len() >= d.cfg.LearnStart && d.replay.Len() >= d.cfg.BatchSize {
 		d.learn()
 	}
@@ -143,6 +189,7 @@ func (d *DQN) learn() {
 	d.batch = d.replay.Sample(d.rng, d.cfg.BatchSize, d.batch)
 	nn.Zero(d.grad)
 	dOut := make([]float64, d.nAction)
+	lossSum := 0.0
 	for _, tr := range d.batch {
 		target := tr.Reward
 		if !tr.Done {
@@ -154,13 +201,17 @@ func (d *DQN) learn() {
 			dOut[i] = 0
 		}
 		// Squared TD error on the taken action only.
-		dOut[tr.Action] = 2 * (q[tr.Action] - target)
+		td := q[tr.Action] - target
+		lossSum += td * td
+		dOut[tr.Action] = 2 * td
 		d.online.Gradient(tr.State, dOut, d.grad)
 	}
 	nn.Scale(d.grad, 1.0/float64(len(d.batch)))
 	nn.ClipGradient(d.grad, d.cfg.GradClip)
 	d.opt.Step(d.online.Params(), d.grad)
 	d.learnN++
+	d.met.learnSteps.Inc()
+	d.met.batchLoss.Set(lossSum / float64(len(d.batch)))
 	if d.cfg.TargetSync > 0 && d.learnN%d.cfg.TargetSync == 0 {
 		d.target.SetParams(d.online.Params())
 	}
@@ -198,6 +249,7 @@ func (d *DQN) TrainEpisodes(env Environment, episodes, maxSteps int) []float64 {
 				break
 			}
 		}
+		d.met.episodeReturn.Observe(total)
 		returns = append(returns, total)
 	}
 	return returns

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
 
+	"mobirescue/internal/obs"
 	"mobirescue/internal/roadnet"
 )
 
@@ -42,6 +45,9 @@ type Simulator struct {
 	delayed []timedOrders
 	rounds  []RoundStat
 	delays  []time.Duration
+
+	met simMetrics
+	log *slog.Logger
 }
 
 // timedOrders are dispatcher orders waiting out the computation delay.
@@ -78,6 +84,8 @@ func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []
 		disp:        disp,
 		activeBySeg: make(map[roadnet.SegmentID][]int),
 		now:         cfg.Start,
+		met:         newSimMetrics(cfg.Metrics, disp.Name()),
+		log:         cfg.Logger,
 	}
 	s.requests = make([]RequestOutcome, 0, len(requests))
 	for _, r := range requests {
@@ -112,6 +120,15 @@ func (s *Simulator) refreshCost() {
 
 // Run executes the scenario and returns the collected result.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the scenario like Run, additionally recording a
+// span tree (sim.run > sim.round > dispatch.decide) when ctx carries an
+// obs tracer.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
+	ctx, runSpan := obs.StartSpan(ctx, "sim.run")
+	defer runSpan.End()
 	end := s.cfg.Start.Add(s.cfg.Duration)
 	nextRound := s.cfg.Start
 	for s.now.Before(end) {
@@ -125,7 +142,7 @@ func (s *Simulator) Run() (*Result, error) {
 		// Dispatch round.
 		if !s.now.Before(nextRound) {
 			s.refreshCost()
-			s.round()
+			s.round(ctx)
 			nextRound = nextRound.Add(s.cfg.Period)
 		}
 		// Apply orders whose computation delay has elapsed.
@@ -134,19 +151,53 @@ func (s *Simulator) Run() (*Result, error) {
 		for _, v := range s.vehicles {
 			s.stepVehicle(v)
 		}
+		s.met.steps.Inc()
 		s.now = s.now.Add(s.cfg.Step)
 	}
-	return &Result{
+	res := &Result{
 		Method:        s.disp.Name(),
 		Config:        s.cfg,
 		Requests:      s.requests,
 		Rounds:        s.rounds,
 		ComputeDelays: s.delays,
-	}, nil
+	}
+	s.finishRun(res)
+	return res, nil
+}
+
+// finishRun records end-of-run outcome metrics and the summary log line.
+func (s *Simulator) finishRun(res *Result) {
+	var served, timely, unserved int64
+	for i := range res.Requests {
+		o := &res.Requests[i]
+		switch {
+		case !o.Served():
+			unserved++
+		default:
+			served++
+			if o.Timeliness() <= s.cfg.TimelyThreshold {
+				timely++
+			}
+		}
+	}
+	s.met.served.Add(served)
+	s.met.timely.Add(timely)
+	s.met.unserved.Add(unserved)
+	if s.log != nil {
+		s.log.Info("run complete",
+			"method", res.Method,
+			"requests", len(res.Requests),
+			"served", served,
+			"timely", timely,
+			"unserved", unserved,
+			"rounds", len(res.Rounds))
+	}
 }
 
 // round invokes the dispatcher and queues its orders.
-func (s *Simulator) round() {
+func (s *Simulator) round(ctx context.Context) {
+	ctx, roundSpan := obs.StartSpan(ctx, "sim.round")
+	defer roundSpan.End()
 	snap := &Snapshot{
 		Time:   s.now,
 		City:   s.city,
@@ -169,10 +220,18 @@ func (s *Simulator) round() {
 			})
 		}
 	}
+	_, decideSpan := obs.StartSpan(ctx, "dispatch.decide")
+	decideStart := time.Now()
 	orders, delay := s.disp.Decide(snap)
+	decideSpan.End()
 	if delay < 0 {
 		delay = 0
 	}
+	s.met.decideSeconds.ObserveSince(decideStart)
+	s.met.modeledDelay.ObserveDuration(delay)
+	s.met.rounds.Inc()
+	s.met.orders.Add(int64(len(orders)))
+	s.met.active.Set(float64(len(snap.ActiveRequests)))
 	s.delays = append(s.delays, delay)
 	// Serving teams (Figure 14): teams actively working a target or a
 	// delivery, plus teams just ordered to one.
@@ -188,6 +247,16 @@ func (s *Simulator) round() {
 		}
 	}
 	s.rounds = append(s.rounds, RoundStat{Time: s.now, Serving: len(servingSet)})
+	s.met.serving.Set(float64(len(servingSet)))
+	if s.log != nil {
+		s.log.Debug("dispatch round",
+			"method", s.disp.Name(),
+			"t", s.now,
+			"orders", len(orders),
+			"active_requests", len(snap.ActiveRequests),
+			"serving", len(servingSet),
+			"modeled_delay", delay)
+	}
 	if len(orders) > 0 {
 		s.delayed = append(s.delayed, timedOrders{at: s.now.Add(delay), orders: orders})
 	}
@@ -410,6 +479,7 @@ func (s *Simulator) tryPickup(v *vehicle) bool {
 	if picked == 0 {
 		return false
 	}
+	s.met.pickups.Add(int64(picked))
 	if s.cfg.PickupTime > 0 {
 		v.resume = v.phase
 		if v.resume == PhaseDwell || v.resume == PhaseIdle {
@@ -462,6 +532,7 @@ func (s *Simulator) dropoff(v *vehicle) {
 		s.requests[i].DeliveredAt = s.now
 	}
 	n := len(v.onboard)
+	s.met.dropoffs.Add(int64(n))
 	v.onboard = v.onboard[:0]
 	if s.cfg.DropTime > 0 && n > 0 {
 		v.phase = PhaseDwell

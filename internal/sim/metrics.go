@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"mobirescue/internal/obs"
+)
+
+// Exported metric names (see README "Observability"). Per-method series
+// carry a method="..." label.
+const (
+	MetricDecideSeconds = "mobirescue_dispatch_decide_seconds"
+	MetricModeledDelay  = "mobirescue_dispatch_modeled_delay_seconds"
+	MetricRounds        = "mobirescue_sim_rounds_total"
+	MetricOrders        = "mobirescue_sim_orders_total"
+	MetricPickups       = "mobirescue_sim_pickups_total"
+	MetricDropoffs      = "mobirescue_sim_dropoffs_total"
+	MetricServed        = "mobirescue_sim_requests_served_total"
+	MetricTimely        = "mobirescue_sim_requests_timely_total"
+	MetricUnserved      = "mobirescue_sim_requests_unserved_total"
+	MetricActive        = "mobirescue_sim_active_requests"
+	MetricServing       = "mobirescue_sim_serving_teams"
+	MetricSteps         = "mobirescue_sim_steps_total"
+)
+
+// simMetrics holds the simulator's pre-resolved metric handles. Every
+// field is nil when metrics are disabled — obs handles are nil-safe, so
+// the hot paths just make cheap no-op calls.
+type simMetrics struct {
+	decideSeconds *obs.Histogram // wall-clock Dispatcher.Decide latency
+	modeledDelay  *obs.Histogram // computation delay the method reports
+	rounds        *obs.Counter
+	orders        *obs.Counter
+	pickups       *obs.Counter
+	dropoffs      *obs.Counter
+	served        *obs.Counter
+	timely        *obs.Counter
+	unserved      *obs.Counter
+	active        *obs.Gauge
+	serving       *obs.Gauge
+	steps         *obs.Counter
+}
+
+// newSimMetrics resolves the handles for one run, labeling per-method
+// series with the dispatcher's name. A nil registry yields all-nil
+// handles (the zero simMetrics), keeping the disabled path free.
+func newSimMetrics(reg *obs.Registry, method string) simMetrics {
+	if reg == nil {
+		return simMetrics{}
+	}
+	m := obs.L("method", method)
+	return simMetrics{
+		decideSeconds: reg.Histogram(MetricDecideSeconds,
+			"Wall-clock time one Dispatcher.Decide call took.", obs.DefSecondsBuckets, m),
+		modeledDelay: reg.Histogram(MetricModeledDelay,
+			"Computation delay the dispatcher reported for its orders (Fig. 18).", obs.DefSecondsBuckets, m),
+		rounds:   reg.Counter(MetricRounds, "Dispatch rounds executed.", m),
+		orders:   reg.Counter(MetricOrders, "Orders issued by the dispatcher.", m),
+		pickups:  reg.Counter(MetricPickups, "Requests picked up by rescue teams.", m),
+		dropoffs: reg.Counter(MetricDropoffs, "Passengers delivered to hospitals.", m),
+		served:   reg.Counter(MetricServed, "Requests served by the end of the run.", m),
+		timely:   reg.Counter(MetricTimely, "Requests served within the timely threshold.", m),
+		unserved: reg.Counter(MetricUnserved, "Requests never picked up by the end of the run.", m),
+		active:   reg.Gauge(MetricActive, "Appeared-and-unserved requests at the last round.", m),
+		serving:  reg.Gauge(MetricServing, "Teams serving at the last round (Fig. 14).", m),
+		steps:    reg.Counter(MetricSteps, "Simulator integration steps executed.", m),
+	}
+}

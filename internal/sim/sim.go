@@ -15,8 +15,10 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
+	"mobirescue/internal/obs"
 	"mobirescue/internal/roadnet"
 )
 
@@ -204,6 +206,13 @@ type Config struct {
 	// CrawlFactor is the fraction of the speed limit a vehicle manages on
 	// a flooded-closed segment it was (mis)routed onto.
 	CrawlFactor float64
+	// Metrics, when non-nil, receives run metrics (rounds, pickups,
+	// dropoffs, per-method decision-latency histograms). Nil — the
+	// default — disables metrics at zero cost on the hot paths.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured per-round debug records
+	// and an end-of-run summary. Nil disables logging entirely.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the paper's evaluation settings.

@@ -13,6 +13,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mobirescue/internal/obs"
+)
+
+// Exported SVM metric names (see README "Observability").
+const (
+	MetricTrainPasses  = "mobirescue_svm_train_passes_total"
+	MetricAlphaUpdates = "mobirescue_svm_alpha_updates_total"
+	MetricSupportVecs  = "mobirescue_svm_support_vectors"
+	MetricPredictions  = "mobirescue_svm_predictions_total"
 )
 
 // Kernel computes the inner product of two feature vectors in the
@@ -76,6 +86,9 @@ type Config struct {
 	Kernel Kernel
 	// Seed drives the SMO partner-selection randomness.
 	Seed int64
+	// Metrics, when non-nil, receives training telemetry (SMO passes,
+	// alpha updates, support-vector count). Nil — the default — is free.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns sensible training defaults.
@@ -92,6 +105,18 @@ type Model struct {
 	alpha  []float64
 	bias   float64
 	scaler *Scaler
+
+	predictions *obs.Counter // nil (free) unless EnableMetrics is called
+}
+
+// EnableMetrics registers a prediction counter with reg. The counter is
+// atomic, preserving the model's concurrency safety. Nil reg is a no-op.
+func (m *Model) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.predictions = reg.Counter(MetricPredictions, "SVM Predict/Decision evaluations.")
+	reg.Gauge(MetricSupportVecs, "Support vectors retained by the trained model.").Set(float64(m.NumSVs()))
 }
 
 // ErrBadTrainingSet is returned for degenerate training inputs.
@@ -168,8 +193,11 @@ func Train(x [][]float64, y []bool, cfg Config) (*Model, error) {
 		return s
 	}
 
+	mPasses := cfg.Metrics.Counter(MetricTrainPasses, "Full SMO passes over the training set.")
+	mUpdates := cfg.Metrics.Counter(MetricAlphaUpdates, "Alpha pair updates applied during SMO training.")
 	passes := 0
 	for iter := 0; passes < cfg.MaxPasses && iter < cfg.MaxIter; iter++ {
+		mPasses.Inc()
 		changed := 0
 		for i := 0; i < n; i++ {
 			ei := f(i) - ys[i]
@@ -222,6 +250,7 @@ func Train(x [][]float64, y []bool, cfg Config) (*Model, error) {
 			}
 			alpha[i], alpha[j] = ai, aj
 			changed++
+			mUpdates.Inc()
 		}
 		if changed == 0 {
 			passes++
@@ -247,6 +276,7 @@ func Train(x [][]float64, y []bool, cfg Config) (*Model, error) {
 
 // Decision returns the signed margin for a raw (unscaled) feature vector.
 func (m *Model) Decision(x []float64) float64 {
+	m.predictions.Inc()
 	xs := m.scaler.Transform(x)
 	s := m.bias
 	for i := range m.svX {
