@@ -1,10 +1,14 @@
-# MobiRescue build/test entry points. `make verify` is what CI runs.
+# MobiRescue build/test entry points. CI runs `make verify` and `make
+# race` as separate jobs: verify is the fast tier-1 gate, race runs the
+# full suite — including the chaos and resilience tests, whose
+# goroutine-per-Decide wrapper is exactly where races would hide —
+# under the race detector.
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify clean
+.PHONY: all build vet test race bench fuzz verify clean
 
-all: verify
+all: verify race
 
 build:
 	$(GO) build ./...
@@ -22,7 +26,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDecide -benchtime 100x ./internal/dispatch
 
-verify: vet build race
+# Short fuzz pass over the city loader (the corpus seeds always run as
+# part of `make test`; this explores further).
+fuzz:
+	$(GO) test -fuzz FuzzReadCityJSON -fuzztime 30s ./internal/roadnet
+
+verify: vet build test
 
 clean:
 	$(GO) clean ./...

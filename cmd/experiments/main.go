@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16] [-obs addr]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr]
+//
+// -chaos re-runs the comparison under deterministic fault injection
+// after the fault-free pass and prints each method's degradation
+// (resilience report); the same -chaos-seed reproduces the same run.
 //
 // The binary always collects metrics and spans and prints an end-of-run
 // report (top spans, key counters) on stderr. With -obs it additionally
@@ -23,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/sim"
 	"mobirescue/internal/stats"
 )
 
@@ -35,6 +41,8 @@ func main() {
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests, like the paper)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fig      = flag.String("fig", "all", "which figure to print: all, 9..16, latency")
+		chaosArg = flag.String("chaos", "off", "chaos profile: "+chaos.ProfileNames)
+		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
@@ -141,6 +149,43 @@ func main() {
 		fmt.Printf("  %-11s %8d %8d %14.0f %14.0f %12.1f\n",
 			name, res.TotalServed(), res.TotalTimelyServed(), medD, medT, meanServing)
 	}
+
+	profile, err := chaos.ProfileByName(*chaosArg)
+	if err != nil {
+		fatal(logger, err)
+	}
+	if profile.Enabled() {
+		if err := runChaosComparison(sys, cmp, profile, *chaosSd, logger); err != nil {
+			fatal(logger, err)
+		}
+	}
+}
+
+// runChaosComparison re-runs the three-method comparison under the
+// chaos profile and prints each method's degradation against the
+// fault-free results already in base.
+func runChaosComparison(sys *core.System, base *core.Comparison, profile chaos.Profile, seed int64, logger *slog.Logger) error {
+	logger.Info("re-running comparison under chaos",
+		slog.String("profile", profile.Name), slog.Int64("chaos-seed", seed))
+	if err := sys.SetChaos(profile, seed); err != nil {
+		return err
+	}
+	defer func() {
+		if err := sys.SetChaos(chaos.Off(), 0); err != nil {
+			logger.Warn("disabling chaos", slog.Any("err", err))
+		}
+	}()
+	chaotic, err := sys.RunComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nChaos comparison (profile %s, seed %d):\n", profile.Name, seed)
+	for _, name := range core.MethodNames {
+		if err := sim.WriteResilienceReport(os.Stdout, base.Results[name], chaotic.Results[name]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildSystem constructs scenario and system at the requested scale,

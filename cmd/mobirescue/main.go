@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-obs addr] [-report]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-chaos profile] [-chaos-seed S] [-obs addr] [-report]
 //
 // With -obs the process serves /metrics (Prometheus text format),
 // /healthz, /debug/vars, and /debug/pprof/* on the given address for the
 // whole run, then keeps serving until interrupted so the final metric
 // values stay scrapeable. -report prints the span/metric report on
 // stderr at the end of the run (implied by -obs).
+//
+// -chaos enables deterministic fault injection (flash-flood surges,
+// vehicle breakdowns, sensing and dispatcher faults) and wraps the
+// dispatcher in the resilient degraded-mode shell; the same -chaos-seed
+// reproduces the same chaotic run.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os/signal"
 	"time"
 
+	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
 	"mobirescue/internal/obs"
 	"mobirescue/internal/stats"
@@ -33,6 +39,8 @@ func main() {
 		episodes = flag.Int("episodes", 6, "RL training episodes (mr only)")
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		chaosArg = flag.String("chaos", "off", "chaos profile: "+chaos.ProfileNames)
+		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 		report   = flag.Bool("report", false, "print the span/metric report on stderr after the run")
 		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
@@ -87,6 +95,17 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
+	profile, err := chaos.ProfileByName(*chaosArg)
+	if err != nil {
+		fatal(logger, err)
+	}
+	if profile.Enabled() {
+		if err := sys.SetChaos(profile, *chaosSd); err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("chaos enabled",
+			slog.String("profile", profile.Name), slog.Int64("chaos-seed", *chaosSd))
+	}
 
 	res, err := sys.RunMethod(*method, *episodes)
 	if err != nil {
@@ -108,6 +127,9 @@ func main() {
 		med, _ := cdf.Quantile(0.5)
 		p90, _ := cdf.Quantile(0.9)
 		fmt.Printf("timeliness:    median %.0fs, p90 %.0fs\n", med, p90)
+	}
+	if profile.Enabled() || res.Resilience.Any() {
+		fmt.Printf("resilience:    %s\n", res.Resilience)
 	}
 
 	if *report || *obsAddr != "" {

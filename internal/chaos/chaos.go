@@ -1,0 +1,208 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// rescue-operations simulator. The paper's whole premise is dispatching
+// *during a disaster*, yet a benign substrate — roads that only degrade
+// on schedule, dispatchers that never fail, orders that are trusted
+// blindly — only exercises the happy path. This package perturbs a
+// running episode with four fault families:
+//
+//   - Road surges: surprise flash-flood closures (and re-openings) of
+//     spatially coherent segment batches, layered on top of the
+//     scheduled flood model via a roadnet.CostModel decorator.
+//   - Vehicle faults: breakdowns that stall a vehicle in place for a
+//     sampled duration.
+//   - Sensing faults: dropped or stale active-request views and noised
+//     predicted-request maps.
+//   - Dispatcher faults: injected Decide panics, modeled-latency
+//     spikes, and malformed orders (unknown vehicles, out-of-range
+//     targets, duplicates).
+//
+// Everything is derived from a Profile plus one seed: the same
+// (profile, seed, city, window) always yields byte-identical fault
+// schedules, so MobiRescue and the baselines can be compared under
+// identical chaos, and any chaotic run can be reproduced exactly.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile bundles the intensity knobs of every fault family. The zero
+// value (and Off()) disables injection entirely.
+type Profile struct {
+	// Name identifies the profile ("off", "light", "default", "heavy",
+	// or a custom label). An empty name or "off" disables injection.
+	Name string
+
+	// SurgesPerHour is the expected number of flash-flood surges per
+	// hour (Poisson arrivals).
+	SurgesPerHour float64
+	// SurgeSegments is how many connected road segments one surge
+	// closes (a BFS patch around a random seed segment).
+	SurgeSegments int
+	// SurgeMeanDuration is the mean closure duration (exponential,
+	// clamped to at least one minute).
+	SurgeMeanDuration time.Duration
+
+	// BreakdownsPerVehicleHour is the expected breakdown rate per
+	// vehicle-hour (Poisson arrivals per vehicle).
+	BreakdownsPerVehicleHour float64
+	// BreakdownMeanDuration is the mean stall duration (exponential,
+	// clamped to at least one minute).
+	BreakdownMeanDuration time.Duration
+
+	// SenseDropProb is the per-round probability that the dispatcher's
+	// active-request view loses entries.
+	SenseDropProb float64
+	// SenseDropFrac is the fraction of active requests dropped when a
+	// drop fault fires.
+	SenseDropFrac float64
+	// StaleSnapshotProb is the per-round probability that the
+	// dispatcher sees the previous round's active-request view instead
+	// of the current one.
+	StaleSnapshotProb float64
+	// PredictNoise is the relative stddev of multiplicative noise
+	// applied to predicted-request maps (0 disables).
+	PredictNoise float64
+
+	// PanicProb is the per-round probability that Decide panics.
+	PanicProb float64
+	// LatencySpikeProb is the per-round probability of a modeled
+	// decision-latency spike.
+	LatencySpikeProb float64
+	// LatencySpikeMax bounds the injected spike (uniform in (0, max]).
+	LatencySpikeMax time.Duration
+	// MalformedOrderProb is the per-round probability that the orders
+	// batch is corrupted (bad vehicle, bad target, duplicate).
+	MalformedOrderProb float64
+}
+
+// Off returns the disabled profile.
+func Off() Profile { return Profile{Name: "off"} }
+
+// LightProfile returns a gentle perturbation: occasional surges and
+// sensing glitches, no dispatcher faults.
+func LightProfile() Profile {
+	return Profile{
+		Name:                     "light",
+		SurgesPerHour:            0.25,
+		SurgeSegments:            4,
+		SurgeMeanDuration:        45 * time.Minute,
+		BreakdownsPerVehicleHour: 0.004,
+		BreakdownMeanDuration:    10 * time.Minute,
+		SenseDropProb:            0.05,
+		SenseDropFrac:            0.2,
+		StaleSnapshotProb:        0.02,
+		PredictNoise:             0.1,
+	}
+}
+
+// DefaultProfile returns the moderate profile the -chaos flag uses by
+// default: every fault family active at rates a resilient dispatcher
+// should absorb with bounded degradation.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:                     "default",
+		SurgesPerHour:            0.5,
+		SurgeSegments:            6,
+		SurgeMeanDuration:        time.Hour,
+		BreakdownsPerVehicleHour: 0.01,
+		BreakdownMeanDuration:    20 * time.Minute,
+		SenseDropProb:            0.10,
+		SenseDropFrac:            0.3,
+		StaleSnapshotProb:        0.05,
+		PredictNoise:             0.2,
+		PanicProb:                0.05,
+		LatencySpikeProb:         0.05,
+		LatencySpikeMax:          2 * time.Minute,
+		MalformedOrderProb:       0.08,
+	}
+}
+
+// HeavyProfile returns an aggressive profile for stress testing: the
+// substrate misbehaves most rounds.
+func HeavyProfile() Profile {
+	return Profile{
+		Name:                     "heavy",
+		SurgesPerHour:            1.5,
+		SurgeSegments:            10,
+		SurgeMeanDuration:        2 * time.Hour,
+		BreakdownsPerVehicleHour: 0.03,
+		BreakdownMeanDuration:    40 * time.Minute,
+		SenseDropProb:            0.25,
+		SenseDropFrac:            0.5,
+		StaleSnapshotProb:        0.15,
+		PredictNoise:             0.5,
+		PanicProb:                0.15,
+		LatencySpikeProb:         0.15,
+		LatencySpikeMax:          5 * time.Minute,
+		MalformedOrderProb:       0.2,
+	}
+}
+
+// ProfileNames lists the named profiles ProfileByName accepts, for flag
+// help strings.
+const ProfileNames = "off, light, default, or heavy"
+
+// ProfileByName maps a -chaos flag value to its profile.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "", "off", "none":
+		return Off(), nil
+	case "light":
+		return LightProfile(), nil
+	case "default", "moderate":
+		return DefaultProfile(), nil
+	case "heavy":
+		return HeavyProfile(), nil
+	default:
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (want %s)", name, ProfileNames)
+	}
+}
+
+// Enabled reports whether the profile injects anything.
+func (p Profile) Enabled() bool { return p.Name != "" && p.Name != "off" && p.Name != "none" }
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"SurgesPerHour", p.SurgesPerHour},
+		{"BreakdownsPerVehicleHour", p.BreakdownsPerVehicleHour},
+		{"PredictNoise", p.PredictNoise},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("chaos: %s must be non-negative, got %v", c.name, c.v)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"SenseDropProb", p.SenseDropProb},
+		{"SenseDropFrac", p.SenseDropFrac},
+		{"StaleSnapshotProb", p.StaleSnapshotProb},
+		{"PanicProb", p.PanicProb},
+		{"LatencySpikeProb", p.LatencySpikeProb},
+		{"MalformedOrderProb", p.MalformedOrderProb},
+	} {
+		if c.v < 0 || c.v > 1 {
+			return fmt.Errorf("chaos: %s must be in [0,1], got %v", c.name, c.v)
+		}
+	}
+	if p.SurgesPerHour > 0 && (p.SurgeSegments <= 0 || p.SurgeMeanDuration <= 0) {
+		return fmt.Errorf("chaos: surges need SurgeSegments > 0 and SurgeMeanDuration > 0")
+	}
+	if p.BreakdownsPerVehicleHour > 0 && p.BreakdownMeanDuration <= 0 {
+		return fmt.Errorf("chaos: breakdowns need BreakdownMeanDuration > 0")
+	}
+	if p.LatencySpikeProb > 0 && p.LatencySpikeMax <= 0 {
+		return fmt.Errorf("chaos: latency spikes need LatencySpikeMax > 0")
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mobirescue/internal/chaos"
 	"mobirescue/internal/dispatch"
 	"mobirescue/internal/ilp"
 	"mobirescue/internal/obs"
@@ -41,6 +42,14 @@ type SystemConfig struct {
 	Sim sim.Config
 	// IPLatency models the baselines' integer-programming solve time.
 	IPLatency ilp.LatencyModel
+	// Chaos, when enabled, injects the profile's faults into every
+	// simulation run (flash-flood surges, vehicle breakdowns, sensing
+	// and dispatcher faults — see internal/chaos) and wraps every
+	// dispatcher in dispatch.Resilient. ChaosSeed derives all fault
+	// schedules: the same (profile, seed) reproduces the same chaotic
+	// run byte-for-byte.
+	Chaos     chaos.Profile
+	ChaosSeed int64
 	// Metrics, when non-nil, wires observability through the whole stack:
 	// SVM training/prediction counters, RL training telemetry, ILP solver
 	// stats, and the simulator's per-method decision-latency histograms.
@@ -79,6 +88,11 @@ type System struct {
 	// baseCtx carries the obs tracer (if any) into runs started through
 	// the ctx-less exported methods.
 	baseCtx context.Context
+	// basePredict is the un-noised SVM prediction closure; activePredict
+	// is what MR actually calls — equal to basePredict until SetChaos
+	// layers chaos.NoisyPredict on top.
+	basePredict   dispatch.PredictFn
+	activePredict dispatch.PredictFn
 	// trainEpisodes / episodeTimely are the RL-training telemetry handles
 	// (nil when Config.Metrics is nil).
 	trainEpisodes *obs.Counter
@@ -158,8 +172,12 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 		sys.episodeTimely = cfg.Metrics.Gauge(MetricEpisodeTimely, "Timely served requests in the last training episode.")
 		sys.evalDays = cfg.Metrics.Counter(MetricEvaluationDays, "Evaluation-day simulations run.")
 	}
-	mr, err := dispatch.NewMobiRescue(sc.City.NumRegions(), func(t time.Time) map[roadnet.SegmentID]float64 {
+	sys.basePredict = func(t time.Time) map[roadnet.SegmentID]float64 {
 		return sys.activeProvider(t).Predict(t)
+	}
+	sys.activePredict = sys.basePredict
+	mr, err := dispatch.NewMobiRescue(sc.City.NumRegions(), func(t time.Time) map[roadnet.SegmentID]float64 {
+		return sys.activePredict(t)
 	}, mrCfg)
 	if err != nil {
 		return nil, err
@@ -237,7 +255,25 @@ func (s *System) simConfigForDay(ep *Episode, day int) sim.Config {
 	return cfg
 }
 
-// runDay simulates one episode day under the given dispatcher.
+// SetChaos (re)configures fault injection for every subsequent run:
+// surge closures and vehicle breakdowns are scheduled per run from the
+// seed, dispatcher faults wrap every dispatcher, prediction noise
+// perturbs MR's demand estimate, and each run's dispatcher is hardened
+// with dispatch.Resilient. Passing chaos.Off() restores benign runs.
+func (s *System) SetChaos(p chaos.Profile, seed int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.Config.Chaos = p
+	s.Config.ChaosSeed = seed
+	s.activePredict = chaos.NoisyPredict(p, seed, s.basePredict)
+	return nil
+}
+
+// runDay simulates one episode day under the given dispatcher. With a
+// chaos profile configured, the day's fault schedules are derived from
+// (profile, ChaosSeed, window) and the dispatcher is wrapped in the
+// fault injector plus dispatch.Resilient.
 func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher) (*sim.Result, error) {
 	ctx, daySpan := obs.StartSpan(ctx, "sim.day")
 	defer daySpan.End()
@@ -247,8 +283,24 @@ func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Disp
 	if err != nil {
 		return nil, err
 	}
+	var base sim.CostProvider = ep.Disaster(s.Scenario.City.Graph)
+	if s.Config.Chaos.Enabled() {
+		inj, err := chaos.NewInjector(s.Config.Chaos, s.Config.ChaosSeed,
+			s.Scenario.City.Graph, cfg.Start, cfg.Duration, s.Teams)
+		if err != nil {
+			return nil, err
+		}
+		inj.EnableMetrics(s.Config.Metrics)
+		// Surge closures layer under the rescue-crawl adapter so they
+		// stay visible to flood-aware routing as "closed".
+		base = inj.WrapCost(base)
+		cfg.VehicleFaults = inj.VehicleFaults()
+		resilient := dispatch.NewResilient(inj.WrapDispatcher(disp), dispatch.DefaultResilientConfig())
+		resilient.EnableMetrics(s.Config.Metrics)
+		disp = resilient
+	}
 	costProv := sim.RescueCostProvider{
-		Base:  ep.Disaster(s.Scenario.City.Graph),
+		Base:  base,
 		Crawl: cfg.CrawlFactor,
 	}
 	simulator, err := sim.New(s.Scenario.City, costProv, disp, requests, starts, cfg)

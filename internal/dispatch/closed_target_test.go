@@ -1,0 +1,209 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"mobirescue/internal/ilp"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+	"mobirescue/internal/tsa"
+)
+
+// These tests pin down what each dispatcher does when the segment it
+// would otherwise order a team to is flood-closed at decision time:
+// MobiRescue and Rescue (both flood-aware) must fall back to a reachable
+// open alternative, and even Schedule — which plans on the pre-disaster
+// map by design — must never wedge a vehicle in PhaseServing forever,
+// because the simulator's rescue-crawl semantics keep every segment
+// eventually reachable.
+
+// closedSet closes the listed segments for the civilian network.
+type closedSet map[roadnet.SegmentID]bool
+
+func (c closedSet) SegmentTime(s roadnet.Segment) (float64, bool) {
+	if c[s.ID] {
+		return 0, false
+	}
+	return s.FreeFlowTime(), true
+}
+
+// assertOrdersAvoid asserts that no serving order targets a segment the
+// civilian model considers closed.
+func assertOrdersAvoid(t *testing.T, g *roadnet.Graph, orders []sim.Order, closed closedSet) {
+	t.Helper()
+	if len(orders) == 0 {
+		t.Fatal("dispatcher issued no orders at all")
+	}
+	for _, o := range orders {
+		if o.ToDepot {
+			continue
+		}
+		if closed[o.Target] {
+			t.Errorf("order targets closed segment %d", o.Target)
+		}
+		if int(o.Target) < 0 || int(o.Target) >= g.NumSegments() {
+			t.Errorf("order targets out-of-range segment %d", o.Target)
+		}
+	}
+}
+
+func TestMobiRescueClosedTargetFallsBackToOpenSegment(t *testing.T) {
+	city := testCity(t)
+	g := city.Graph
+	byRegion := g.SegmentIDsByRegion()
+	hot := byRegion[3][0]
+	closed := closedSet{hot: true}
+	pred := map[roadnet.SegmentID]float64{hot: 10} // all demand on a closed segment
+	m, err := NewMobiRescue(7, constPredict(pred), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Hospitals[0], city.Hospitals[1]}, nil)
+	snap.Cost = sim.RescueCost{Base: closed}
+	snap.Router = roadnet.NewRouter(g, snap.Cost)
+	orders, _ := m.Decide(snap)
+	assertOrdersAvoid(t, g, orders, closed)
+}
+
+func TestRescueClosedTargetFallsBackToOpenSegment(t *testing.T) {
+	city := testCity(t)
+	g := city.Graph
+	hot := g.SegmentIDsByRegion()[4][0]
+	closed := closedSet{hot: true}
+	pred, err := tsa.New(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Observe(int(hot), 10, 8) // all predicted demand on the closed segment
+	r := NewRescue(pred, dispStart.Add(-24*time.Hour), ilp.LatencyModel{})
+	snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Hospitals[0], city.Hospitals[1]}, nil)
+	snap.Cost = sim.RescueCost{Base: closed}
+	snap.Router = roadnet.NewRouter(g, snap.Cost)
+	orders, _ := r.Decide(snap)
+	assertOrdersAvoid(t, g, orders, closed)
+}
+
+// closedProvider serves the closure as the civilian flood model.
+type closedProvider struct{ closed closedSet }
+
+func (p closedProvider) CostAt(time.Time) roadnet.CostModel { return p.closed }
+
+// orderRecorder logs every order its inner dispatcher issues.
+type orderRecorder struct {
+	inner  sim.Dispatcher
+	orders []sim.Order
+}
+
+func (r *orderRecorder) Name() string { return r.inner.Name() }
+func (r *orderRecorder) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
+	orders, delay := r.inner.Decide(snap)
+	r.orders = append(r.orders, orders...)
+	return orders, delay
+}
+
+// runClosedRequestDay drives a full short simulation in which the only
+// request sits on a civilian-closed segment, returning the outcome and
+// every order the dispatcher issued. The run terminating at all is the
+// baseline no-wedge property; callers add per-method assertions.
+func runClosedRequestDay(t *testing.T, city *roadnet.City, disp sim.Dispatcher, reqSeg roadnet.SegmentID) (*sim.Result, []sim.Order) {
+	t.Helper()
+	closed := closedSet{reqSeg: true}
+	cfg := sim.DefaultConfig(dispStart)
+	cfg.Duration = 6 * time.Hour
+	reqs := []sim.Request{{ID: 0, Seg: reqSeg, AppearAt: dispStart.Add(5 * time.Minute)}}
+	pos, err := city.Graph.AtLandmark(city.Hospitals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	costProv := sim.RescueCostProvider{Base: closedProvider{closed}, Crawl: cfg.CrawlFactor}
+	rec := &orderRecorder{inner: disp}
+	s, err := sim.New(city, costProv, rec, reqs, []roadnet.Position{pos}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec.orders
+}
+
+// Schedule plans on the pre-disaster map and orders the closed segment
+// anyway; the simulator's crawl semantics must still carry the vehicle
+// through so the request is served late rather than never (no wedge).
+func TestScheduleClosedTargetNeverWedges(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[3])[0]
+	res, _ := runClosedRequestDay(t, city, NewSchedule(city.Graph, ilp.LatencyModel{}), reqSeg)
+	if res.TotalServed() != 1 {
+		t.Errorf("Schedule: request never served (served=%d) — vehicle wedged?", res.TotalServed())
+	}
+}
+
+// Greedy works from the rescue view (closed = expensive, not blocked),
+// so it too must push through and serve.
+func TestGreedyClosedTargetNeverWedges(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[3])[0]
+	res, _ := runClosedRequestDay(t, city, NewGreedy(), reqSeg)
+	if res.TotalServed() != 1 {
+		t.Errorf("greedy: request never served (served=%d) — vehicle wedged?", res.TotalServed())
+	}
+}
+
+// assertAvoidsAndKeepsWorking asserts the flood-aware dispatcher issued
+// orders throughout the run (the vehicle kept receiving work, i.e. was
+// never wedged) while never targeting the closed segment.
+func assertAvoidsAndKeepsWorking(t *testing.T, name string, orders []sim.Order, reqSeg roadnet.SegmentID) {
+	t.Helper()
+	if len(orders) == 0 {
+		t.Fatalf("%s issued no orders over the whole run", name)
+	}
+	for _, o := range orders {
+		if !o.ToDepot && o.Target == reqSeg {
+			t.Errorf("%s ordered the civilian-closed segment %d", name, reqSeg)
+		}
+	}
+}
+
+// MobiRescue's anticipatory placement avoids flooded roads, but its
+// cover pass guarantees a known waiting request is never orphaned — even
+// one sitting in the water. The team crawls in and serves; the no-wedge
+// property for MobiRescue is therefore that the request is served at all
+// and that the dispatcher kept issuing orders throughout.
+func TestMobiRescueClosedTargetNeverWedges(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[3])[0]
+	pred := map[roadnet.SegmentID]float64{reqSeg: 5}
+	m, err := NewMobiRescue(7, constPredict(pred), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, orders := runClosedRequestDay(t, city, m, reqSeg)
+	if len(orders) == 0 {
+		t.Fatal("MobiRescue issued no orders over the whole run")
+	}
+	if res.TotalServed() != 1 {
+		t.Errorf("MobiRescue: request never served (served=%d) — vehicle wedged?", res.TotalServed())
+	}
+}
+
+// Rescue predicts heavy demand exactly on the closed segment; being
+// flood-aware it must deploy to open alternatives instead.
+func TestRescueClosedTargetNeverWedges(t *testing.T) {
+	city := testCity(t)
+	reqSeg := city.Graph.Out(city.Hospitals[3])[0]
+	pred, err := tsa.New(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed yesterday's same hours so today's predictions are hot on the
+	// closed segment.
+	for h := 0; h < 7; h++ {
+		pred.Observe(int(reqSeg), h, 5)
+	}
+	r := NewRescue(pred, dispStart.Add(-24*time.Hour), ilp.LatencyModel{})
+	_, orders := runClosedRequestDay(t, city, r, reqSeg)
+	assertAvoidsAndKeepsWorking(t, "Rescue", orders, reqSeg)
+}

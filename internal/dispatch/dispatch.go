@@ -33,10 +33,18 @@ import (
 type PredictFn func(t time.Time) map[roadnet.SegmentID]float64
 
 // regionDemand aggregates a per-segment prediction into per-region totals
-// (index 0 unused).
+// (index 0 unused). Keys are visited in sorted order so floating-point
+// summation is independent of map iteration order — per-region totals,
+// and everything derived from them, stay bit-identical across runs.
 func regionDemand(g *roadnet.Graph, pred map[roadnet.SegmentID]float64, numRegions int) []float64 {
+	keys := make([]roadnet.SegmentID, 0, len(pred))
+	for seg := range pred {
+		keys = append(keys, seg)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]float64, numRegions+1)
-	for seg, n := range pred {
+	for _, seg := range keys {
+		n := pred[seg]
 		if int(seg) < 0 || int(seg) >= g.NumSegments() || n <= 0 {
 			continue
 		}

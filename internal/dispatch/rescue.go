@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -93,6 +94,11 @@ func (r *Rescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	}
 
 	// Predicted demand per segment at this hour; keep positive entries.
+	// Openness is judged on the civilian flood model: under the
+	// simulator's rescue-crawl adapter every segment reads "open" (at
+	// crawl cost), which would silently defeat this method's advertised
+	// flood-awareness.
+	base := civilianBase(snap.Cost)
 	type segDemand struct {
 		seg roadnet.SegmentID
 		n   float64
@@ -100,7 +106,7 @@ func (r *Rescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	var demands []segDemand
 	g := snap.City.Graph
 	g.Segments(func(s roadnet.Segment) {
-		if _, open := snap.Cost.SegmentTime(s); !open {
+		if w, open := base.SegmentTime(s); !open || math.IsInf(w, 1) {
 			return
 		}
 		if n := r.Predict(s.ID, snap.Time); n > 0 {
@@ -160,7 +166,13 @@ func (r *Rescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	}
 	// Every remaining team serves a standby position: the IP formulation
 	// keeps the whole fleet deployed (constant serving count, Figure 14).
-	standby := standbySegments(snap)
+	// Standby posts must also sit on civilian-open roads.
+	var standby []roadnet.SegmentID
+	for reg := 1; reg <= snap.City.NumRegions(); reg++ {
+		if seg := bestOpenSegmentInRegion(snap, base, reg); seg != roadnet.NoSegment {
+			standby = append(standby, seg)
+		}
+	}
 	if len(standby) > 0 {
 		k := 0
 		for i, v := range avail {

@@ -1,0 +1,313 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mobirescue/internal/obs"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+)
+
+// Exported resilience metric names (see README "Resilience & chaos
+// testing"). Per-method series carry a method="..." label; dropped
+// orders carry an additional reason="..." label.
+const (
+	MetricResilientPanics     = "mobirescue_resilient_panics_recovered_total"
+	MetricResilientTimeouts   = "mobirescue_resilient_timeouts_total"
+	MetricResilientFallbacks  = "mobirescue_resilient_fallback_rounds_total"
+	MetricResilientRecoveries = "mobirescue_resilient_primary_recoveries_total"
+	MetricResilientDropped    = "mobirescue_resilient_orders_dropped_total"
+	MetricResilientRemapped   = "mobirescue_resilient_orders_remapped_total"
+)
+
+// ResilientConfig tunes the Resilient wrapper.
+type ResilientConfig struct {
+	// DecideTimeout bounds one wall-clock Decide call on the primary.
+	// The default (5 s) is generous for every in-repo dispatcher, so it
+	// only fires on a genuinely wedged primary; modeled computation
+	// delays (the paper's IP solve time) are unaffected.
+	DecideTimeout time.Duration
+	// MaxFailures is how many consecutive primary failures (panic,
+	// timeout, still-running call) trigger the fallback backoff.
+	MaxFailures int
+	// BackoffRounds is the initial number of rounds the primary is
+	// benched after tripping; it doubles on each re-trip up to
+	// MaxBackoffRounds.
+	BackoffRounds    int
+	MaxBackoffRounds int
+	// Fallback is the degraded-mode policy (default: Greedy).
+	Fallback sim.Dispatcher
+}
+
+// DefaultResilientConfig returns the defaults described above.
+func DefaultResilientConfig() ResilientConfig {
+	return ResilientConfig{
+		DecideTimeout:    5 * time.Second,
+		MaxFailures:      3,
+		BackoffRounds:    1,
+		MaxBackoffRounds: 8,
+		Fallback:         NewGreedy(),
+	}
+}
+
+// resilientMetrics holds the wrapper's nil-safe counter handles.
+type resilientMetrics struct {
+	panics      *obs.Counter
+	timeouts    *obs.Counter
+	fallbacks   *obs.Counter
+	recoveries  *obs.Counter
+	dropVehicle *obs.Counter
+	dropTarget  *obs.Counter
+	dropDup     *obs.Counter
+	dropClosed  *obs.Counter
+	remapped    *obs.Counter
+}
+
+// decideResult carries one primary Decide outcome across the goroutine
+// boundary.
+type decideResult struct {
+	orders []sim.Order
+	delay  time.Duration
+	err    error
+}
+
+// Resilient hardens any sim.Dispatcher: it recovers injected or
+// accidental panics in Decide, bounds each call with a wall-clock
+// deadline, validates and sanitizes the returned orders (unknown
+// vehicles, out-of-range or flood-closed targets, duplicates), and
+// after MaxFailures consecutive primary failures serves rounds from a
+// cheap Greedy fallback, retrying the primary with exponential backoff.
+// Every event is counted through internal/obs when EnableMetrics is
+// called.
+//
+// Decide is not safe for concurrent use — like every dispatcher in this
+// repo it is driven by the single-threaded simulator. When a primary
+// call outlives its deadline, the wrapper keeps serving fallback rounds
+// until that call returns (its stale result is discarded), so the
+// primary itself never sees concurrent Decide calls either.
+type Resilient struct {
+	primary sim.Dispatcher
+	cfg     ResilientConfig
+	met     resilientMetrics
+
+	failures int                // consecutive primary failures
+	skip     int                // fallback-only rounds remaining
+	backoff  int                // current backoff length in rounds
+	inflight chan decideResult  // non-nil while a timed-out call runs
+	lastErr  error              // most recent primary failure
+}
+
+var _ sim.Dispatcher = (*Resilient)(nil)
+
+// NewResilient wraps primary. Zero-valued cfg fields take the defaults
+// from DefaultResilientConfig.
+func NewResilient(primary sim.Dispatcher, cfg ResilientConfig) *Resilient {
+	def := DefaultResilientConfig()
+	if cfg.DecideTimeout <= 0 {
+		cfg.DecideTimeout = def.DecideTimeout
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = def.MaxFailures
+	}
+	if cfg.BackoffRounds <= 0 {
+		cfg.BackoffRounds = def.BackoffRounds
+	}
+	if cfg.MaxBackoffRounds < cfg.BackoffRounds {
+		cfg.MaxBackoffRounds = def.MaxBackoffRounds
+	}
+	if cfg.Fallback == nil {
+		cfg.Fallback = def.Fallback
+	}
+	return &Resilient{primary: primary, cfg: cfg, backoff: cfg.BackoffRounds}
+}
+
+// Name implements sim.Dispatcher: results stay keyed by the primary
+// method's name even while degraded.
+func (r *Resilient) Name() string { return r.primary.Name() }
+
+// Primary returns the wrapped dispatcher.
+func (r *Resilient) Primary() sim.Dispatcher { return r.primary }
+
+// LastError returns the most recent primary failure (nil when the
+// primary has never failed or has recovered).
+func (r *Resilient) LastError() error { return r.lastErr }
+
+// EnableMetrics registers the wrapper's counters with reg, labeled by
+// the primary method's name. A nil registry is a no-op.
+func (r *Resilient) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := obs.L("method", r.Name())
+	r.met = resilientMetrics{
+		panics:     reg.Counter(MetricResilientPanics, "Primary Decide panics recovered.", m),
+		timeouts:   reg.Counter(MetricResilientTimeouts, "Primary Decide deadline expirations.", m),
+		fallbacks:  reg.Counter(MetricResilientFallbacks, "Rounds served by the fallback policy.", m),
+		recoveries: reg.Counter(MetricResilientRecoveries, "Primary recoveries after failures.", m),
+		dropVehicle: reg.Counter(MetricResilientDropped,
+			"Orders dropped by sanitization.", m, obs.L("reason", "bad_vehicle")),
+		dropTarget: reg.Counter(MetricResilientDropped,
+			"Orders dropped by sanitization.", m, obs.L("reason", "bad_target")),
+		dropDup: reg.Counter(MetricResilientDropped,
+			"Orders dropped by sanitization.", m, obs.L("reason", "duplicate")),
+		dropClosed: reg.Counter(MetricResilientDropped,
+			"Orders dropped by sanitization.", m, obs.L("reason", "closed_no_remap")),
+		remapped: reg.Counter(MetricResilientRemapped,
+			"Closed-target orders remapped to an open segment in-region.", m),
+	}
+}
+
+// Decide implements sim.Dispatcher.
+func (r *Resilient) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
+	if r.skip > 0 {
+		r.skip--
+		return r.fallbackRound(snap)
+	}
+	if r.inflight != nil {
+		// A previous call is still running; the primary is not safe to
+		// re-enter. Check whether it finished since last round.
+		select {
+		case <-r.inflight: // stale result discarded
+			r.inflight = nil
+		default:
+			r.fail(fmt.Errorf("dispatch: primary %s still busy from a previous round", r.Name()))
+			return r.fallbackRound(snap)
+		}
+	}
+
+	res := r.callPrimary(snap)
+	if res.err != nil {
+		r.fail(res.err)
+		return r.fallbackRound(snap)
+	}
+	if r.failures > 0 {
+		r.met.recoveries.Inc()
+	}
+	r.failures = 0
+	r.backoff = r.cfg.BackoffRounds
+	r.lastErr = nil
+	return r.Sanitize(snap, res.orders), res.delay
+}
+
+// callPrimary runs one primary Decide under panic recovery and the
+// wall-clock deadline. On timeout the still-running goroutine is
+// remembered in r.inflight so no second call can race it.
+func (r *Resilient) callPrimary(snap *sim.Snapshot) decideResult {
+	ch := make(chan decideResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- decideResult{err: fmt.Errorf("dispatch: primary %s panicked: %v", r.primary.Name(), p)}
+			}
+		}()
+		orders, delay := r.primary.Decide(snap)
+		ch <- decideResult{orders: orders, delay: delay}
+	}()
+	timer := time.NewTimer(r.cfg.DecideTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			r.met.panics.Inc()
+		}
+		return res
+	case <-timer.C:
+		r.inflight = ch
+		r.met.timeouts.Inc()
+		return decideResult{err: fmt.Errorf("dispatch: primary %s exceeded %v deadline", r.primary.Name(), r.cfg.DecideTimeout)}
+	}
+}
+
+// fail records one consecutive primary failure and arms the backoff
+// when the threshold trips.
+func (r *Resilient) fail(err error) {
+	r.lastErr = err
+	r.failures++
+	if r.failures >= r.cfg.MaxFailures {
+		r.skip = r.backoff
+		r.backoff *= 2
+		if r.backoff > r.cfg.MaxBackoffRounds {
+			r.backoff = r.cfg.MaxBackoffRounds
+		}
+		r.failures = 0
+	}
+}
+
+// fallbackRound serves one round from the fallback policy.
+func (r *Resilient) fallbackRound(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
+	r.met.fallbacks.Inc()
+	orders, delay := r.cfg.Fallback.Decide(snap)
+	return r.Sanitize(snap, orders), delay
+}
+
+// civilianBase unwraps the rescue-crawl adapter so closures are judged
+// on the civilian flood model (under sim.RescueCost every segment reads
+// "open").
+func civilianBase(cost roadnet.CostModel) roadnet.CostModel {
+	if rc, ok := cost.(sim.RescueCost); ok && rc.Base != nil {
+		return rc.Base
+	}
+	return cost
+}
+
+// Sanitize validates one order batch against the snapshot: orders
+// naming unknown vehicles or out-of-range segments are dropped,
+// same-round duplicates for a vehicle are dropped (first wins), and
+// anticipatory orders targeting a civilian-closed segment are remapped
+// to the open segment nearest that segment's region center (dropping
+// the stale route) or dropped when the whole region is under water. A
+// closed target that holds an active waiting request is left alone:
+// crawling a team into the water to reach a known victim is the
+// mission, not a fault. The simulator independently re-validates, so
+// this is defense in depth — it keeps a faulty primary's garbage out of
+// the modeled radio channel and makes the rejection observable at the
+// dispatcher.
+func (r *Resilient) Sanitize(snap *sim.Snapshot, orders []sim.Order) []sim.Order {
+	if len(orders) == 0 {
+		return orders
+	}
+	valid := make(map[sim.VehicleID]bool, len(snap.Vehicles))
+	for _, v := range snap.Vehicles {
+		valid[v.ID] = true
+	}
+	requested := make(map[roadnet.SegmentID]bool, len(snap.ActiveRequests))
+	for _, rq := range snap.ActiveRequests {
+		requested[rq.Seg] = true
+	}
+	g := snap.City.Graph
+	base := civilianBase(snap.Cost)
+	seen := make(map[sim.VehicleID]bool, len(orders))
+	out := orders[:0:0] // fresh backing array, same capacity hint
+	for _, o := range orders {
+		if !valid[o.Vehicle] {
+			r.met.dropVehicle.Inc()
+			continue
+		}
+		if seen[o.Vehicle] {
+			r.met.dropDup.Inc()
+			continue
+		}
+		if !o.ToDepot {
+			if int(o.Target) < 0 || int(o.Target) >= g.NumSegments() {
+				r.met.dropTarget.Inc()
+				continue
+			}
+			s := g.Segment(o.Target)
+			if w, open := base.SegmentTime(s); !requested[o.Target] && (!open || math.IsInf(w, 1)) {
+				remap := bestOpenSegmentInRegion(snap, base, s.Region)
+				if remap == roadnet.NoSegment {
+					r.met.dropClosed.Inc()
+					continue
+				}
+				o.Target = remap
+				o.Route = nil
+				r.met.remapped.Inc()
+			}
+		}
+		seen[o.Vehicle] = true
+		out = append(out, o)
+	}
+	return out
+}

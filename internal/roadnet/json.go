@@ -31,7 +31,18 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		out:       make([][]SegmentID, len(gj.Landmarks)),
 		in:        make([][]SegmentID, len(gj.Landmarks)),
 	}
-	for _, s := range g.segments {
+	// IDs are positional throughout the package (Landmark(id) and
+	// Segment(id) index by ID), so serialized IDs must match their slice
+	// positions or every downstream lookup silently reads the wrong row.
+	for i, lm := range g.landmarks {
+		if lm.ID != LandmarkID(i) {
+			return fmt.Errorf("roadnet: landmark at index %d has id %d", i, lm.ID)
+		}
+	}
+	for i, s := range g.segments {
+		if s.ID != SegmentID(i) {
+			return fmt.Errorf("roadnet: segment at index %d has id %d", i, s.ID)
+		}
 		if !g.validLandmark(s.From) || !g.validLandmark(s.To) {
 			return fmt.Errorf("roadnet: segment %d references missing landmark", s.ID)
 		}
@@ -58,7 +69,12 @@ func (c *City) WriteJSON(w io.Writer) error {
 	})
 }
 
-// ReadCityJSON deserializes a City written by WriteJSON.
+// ReadCityJSON deserializes a City written by WriteJSON. The loaded
+// city is fully validated — dangling hospital or depot references,
+// inconsistent region tables, and segments pointing at nonexistent
+// regions are rejected here rather than left to panic deep inside
+// routing or dispatching. Whatever bytes r yields, ReadCityJSON
+// returns a usable city or an error; it never panics.
 func ReadCityJSON(r io.Reader) (*City, error) {
 	var cj cityJSON
 	if err := json.NewDecoder(r).Decode(&cj); err != nil {
@@ -67,8 +83,46 @@ func ReadCityJSON(r io.Reader) (*City, error) {
 	if cj.Graph == nil {
 		return nil, fmt.Errorf("roadnet: city JSON missing graph")
 	}
-	return &City{
+	c := &City{
 		Graph: cj.Graph, Regions: cj.Regions,
 		Hospitals: cj.Hospitals, Depot: cj.Depot,
-	}, nil
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks the city-level invariants the dispatch layer relies
+// on: hospitals and the depot name real landmarks, the region table is
+// positionally indexed (Regions[i].ID == i, slot 0 unused), and every
+// segment's region exists. The graph's own structural invariants are
+// checked by Graph.Validate during unmarshaling.
+func (c *City) Validate() error {
+	g := c.Graph
+	if g == nil {
+		return fmt.Errorf("roadnet: city has no graph")
+	}
+	for i, h := range c.Hospitals {
+		if !g.validLandmark(h) {
+			return fmt.Errorf("roadnet: hospital %d references missing landmark %d", i, h)
+		}
+	}
+	if c.Depot != NoLandmark && !g.validLandmark(c.Depot) {
+		return fmt.Errorf("roadnet: depot references missing landmark %d", c.Depot)
+	}
+	for i := 1; i < len(c.Regions); i++ {
+		if c.Regions[i].ID != i {
+			return fmt.Errorf("roadnet: region at index %d has id %d", i, c.Regions[i].ID)
+		}
+	}
+	numRegions := c.NumRegions()
+	var regionErr error
+	g.Segments(func(s Segment) {
+		if regionErr == nil && (s.Region < 0 || s.Region > numRegions) {
+			regionErr = fmt.Errorf("roadnet: segment %d in nonexistent region %d (city has %d)",
+				s.ID, s.Region, numRegions)
+		}
+	})
+	return regionErr
 }

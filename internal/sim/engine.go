@@ -24,6 +24,18 @@ type vehicle struct {
 	resume     VehiclePhase // phase to resume after a dwell
 	orderStart time.Time    // when the current serving order's driving began
 	pending    *Order       // order received while dwelling
+	// stalledUntil is the breakdown-fault recovery time; the vehicle
+	// cannot move before it (orders still queue and apply).
+	stalledUntil time.Time
+	// verbatim marks a dispatcher-supplied route the simulator follows
+	// as ordered (never repaired — a stale plan through flooded
+	// segments is the dispatcher's own cost, per the paper's Schedule
+	// analysis). Simulator-planned routes are repaired when the flood
+	// closes a segment under them.
+	verbatim bool
+	// goal is the landmark a delivering/depot-bound route heads for
+	// (used to re-plan after a mid-route closure).
+	goal roadnet.LandmarkID
 }
 
 // Simulator runs one dispatch method over one scenario day.
@@ -46,6 +58,10 @@ type Simulator struct {
 	rounds  []RoundStat
 	delays  []time.Duration
 
+	faults    []VehicleFault // breakdown schedule, sorted by At
+	nextFault int
+
+	res ResilienceStats
 	met simMetrics
 	log *slog.Logger
 }
@@ -102,9 +118,19 @@ func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []
 			return nil, fmt.Errorf("sim: vehicle %d starts on invalid segment %d", i, pos.Seg)
 		}
 		s.vehicles = append(s.vehicles, &vehicle{
-			id: VehicleID(i), pos: pos, phase: PhaseIdle,
+			id: VehicleID(i), pos: pos, phase: PhaseIdle, goal: roadnet.NoLandmark,
 		})
 	}
+	// Breakdown schedule: keep only faults naming known vehicles, in
+	// chronological order. Unknown vehicles are a fault-injection input,
+	// not programmer error — drop rather than trust.
+	for _, f := range cfg.VehicleFaults {
+		if int(f.Vehicle) < 0 || int(f.Vehicle) >= len(s.vehicles) || f.Duration <= 0 {
+			continue
+		}
+		s.faults = append(s.faults, f)
+	}
+	sort.SliceStable(s.faults, func(i, j int) bool { return s.faults[i].At.Before(s.faults[j].At) })
 	s.refreshCost()
 	return s, nil
 }
@@ -139,9 +165,27 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			s.activeBySeg[seg] = append(s.activeBySeg[seg], idx)
 			s.nextAppear++
 		}
+		// Apply breakdown faults that have come due.
+		for s.nextFault < len(s.faults) && !s.faults[s.nextFault].At.After(s.now) {
+			f := s.faults[s.nextFault]
+			s.nextFault++
+			v := s.vehicles[f.Vehicle]
+			if until := f.At.Add(f.Duration); until.After(v.stalledUntil) {
+				v.stalledUntil = until
+			}
+			s.res.VehicleStalls++
+			s.met.stalls.Inc()
+			if s.log != nil {
+				s.log.Debug("vehicle breakdown", "vehicle", f.Vehicle, "t", s.now, "duration", f.Duration)
+			}
+		}
 		// Dispatch round.
 		if !s.now.Before(nextRound) {
 			s.refreshCost()
+			// The cost model only changes at round boundaries, so this
+			// is the moment routes planned under the old flood state can
+			// have been invalidated.
+			s.rerouteVehicles()
 			s.round(ctx)
 			nextRound = nextRound.Add(s.cfg.Period)
 		}
@@ -160,6 +204,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		Requests:      s.requests,
 		Rounds:        s.rounds,
 		ComputeDelays: s.delays,
+		Resilience:    s.res,
 	}
 	s.finishRun(res)
 	return res, nil
@@ -220,10 +265,17 @@ func (s *Simulator) round(ctx context.Context) {
 			})
 		}
 	}
+	// Deterministic view: activeBySeg is a map, and handing dispatchers
+	// a randomly ordered request list makes whole runs irreproducible
+	// (tie-breaks in assignment problems flip run to run).
+	sort.Slice(snap.ActiveRequests, func(i, j int) bool {
+		return snap.ActiveRequests[i].ID < snap.ActiveRequests[j].ID
+	})
 	_, decideSpan := obs.StartSpan(ctx, "dispatch.decide")
 	decideStart := time.Now()
 	orders, delay := s.disp.Decide(snap)
 	decideSpan.End()
+	orders = s.sanitizeOrders(orders)
 	if delay < 0 {
 		delay = 0
 	}
@@ -262,6 +314,126 @@ func (s *Simulator) round(ctx context.Context) {
 	}
 }
 
+// sanitizeOrders validates one round's order batch instead of trusting
+// the dispatcher blindly: orders naming unknown vehicles or out-of-range
+// target segments are rejected, and same-round duplicates for one
+// vehicle are dropped (first order wins). Every rejection is counted in
+// the run's resilience stats and metrics.
+func (s *Simulator) sanitizeOrders(orders []Order) []Order {
+	if len(orders) == 0 {
+		return orders
+	}
+	kept := orders[:0]
+	seen := make(map[VehicleID]bool, len(orders))
+	for _, o := range orders {
+		switch {
+		case int(o.Vehicle) < 0 || int(o.Vehicle) >= len(s.vehicles):
+			s.res.OrdersRejectedBadVehicle++
+			s.met.rejectedVehicle.Inc()
+		case !o.ToDepot && (int(o.Target) < 0 || int(o.Target) >= s.city.Graph.NumSegments()):
+			s.res.OrdersRejectedBadTarget++
+			s.met.rejectedTarget.Inc()
+		case seen[o.Vehicle]:
+			s.res.OrdersRejectedDuplicate++
+			s.met.rejectedDuplicate.Inc()
+		default:
+			seen[o.Vehicle] = true
+			kept = append(kept, o)
+			continue
+		}
+		if s.log != nil {
+			s.log.Debug("order rejected", "vehicle", o.Vehicle, "target", o.Target, "to_depot", o.ToDepot)
+		}
+	}
+	return kept
+}
+
+// civilianCost unwraps the rescue-crawl adapter to the underlying
+// civilian cost model, which is where "closed" actually means closed
+// (RescueCost keeps everything traversable at crawl speed).
+func (s *Simulator) civilianCost() roadnet.CostModel {
+	if rc, ok := s.cost.(RescueCost); ok && rc.Base != nil {
+		return rc.Base
+	}
+	return s.cost
+}
+
+// rerouteVehicles repairs simulator-planned routes invalidated by
+// newly-closed segments. Dispatcher-supplied verbatim routes are left
+// alone — driving a stale plan through water is the dispatcher's own
+// cost, which is how the paper's Schedule baseline behaves. A vehicle
+// whose destination became unreachable is diverted: delivering vehicles
+// re-pick the nearest reachable hospital, others head to the depot, and
+// with nowhere reachable the vehicle crawls on along its old route.
+func (s *Simulator) rerouteVehicles() {
+	base := s.civilianCost()
+	g := s.city.Graph
+	for _, v := range s.vehicles {
+		if v.verbatim || len(v.route) < 2 {
+			continue
+		}
+		blocked := false
+		// route[0] is the segment under the vehicle; it cannot leave it,
+		// so only the segments still to be entered matter.
+		for _, sid := range v.route[1:] {
+			if w, open := base.SegmentTime(g.Segment(sid)); !open || math.IsInf(w, 1) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			continue
+		}
+		if s.repairRoute(v) {
+			s.res.Reroutes++
+			s.met.reroutes.Inc()
+			continue
+		}
+		// Stranded: no route to the original destination survives.
+		s.res.StrandedDiverts++
+		s.met.diverts.Inc()
+		if len(v.onboard) > 0 {
+			s.startDelivery(v) // nearest reachable hospital, retried each step
+			continue
+		}
+		if route, ok := s.routeToLandmark(v.pos, s.city.Depot); ok {
+			v.route = route
+			v.phase = PhaseToDepot
+			v.goal = s.city.Depot
+			v.orderStart = time.Time{}
+		}
+		// Depot unreachable too: keep the old route and crawl on.
+	}
+}
+
+// repairRoute re-plans a vehicle's current destination under the fresh
+// cost model, reporting whether a usable replacement route was found.
+func (s *Simulator) repairRoute(v *vehicle) bool {
+	switch v.phase {
+	case PhaseServing:
+		target := v.route[len(v.route)-1]
+		rt, err := s.router.RouteToSegmentEnd(v.pos, target)
+		if err != nil {
+			return false
+		}
+		v.route = rt.Segs
+		return true
+	case PhaseDelivering, PhaseToDepot:
+		goal := v.goal
+		if goal == roadnet.NoLandmark {
+			return false
+		}
+		route, ok := s.routeToLandmark(v.pos, goal)
+		if !ok {
+			return false
+		}
+		v.route = route
+		return true
+	default:
+		return false
+	}
+}
+
 // applyDueOrders applies queued orders whose effective time has arrived.
 func (s *Simulator) applyDueOrders() {
 	kept := s.delayed[:0]
@@ -297,6 +469,8 @@ func (s *Simulator) applyOrder(o Order) {
 			v.route = route
 			v.phase = PhaseToDepot
 			v.orderStart = time.Time{}
+			v.verbatim = false
+			v.goal = s.city.Depot
 		}
 		return
 	}
@@ -304,6 +478,8 @@ func (s *Simulator) applyOrder(o Order) {
 		v.route = route
 		v.phase = PhaseServing
 		v.orderStart = s.now
+		v.verbatim = true
+		v.goal = roadnet.NoLandmark
 		return
 	}
 	rt, err := s.router.RouteToSegmentEnd(v.pos, o.Target)
@@ -313,6 +489,8 @@ func (s *Simulator) applyOrder(o Order) {
 	v.route = rt.Segs
 	v.phase = PhaseServing
 	v.orderStart = s.now
+	v.verbatim = false
+	v.goal = roadnet.NoLandmark
 }
 
 // validRoute checks a dispatcher-supplied route: it must start on the
@@ -367,6 +545,9 @@ func (s *Simulator) segmentSpeed(seg roadnet.Segment) float64 {
 
 // stepVehicle advances one vehicle by one time step.
 func (s *Simulator) stepVehicle(v *vehicle) {
+	if s.now.Before(v.stalledUntil) {
+		return // broken down: no movement, no pickups, until recovery
+	}
 	if v.phase == PhaseDwell {
 		if s.now.Before(v.dwellUntil) {
 			return
@@ -518,6 +699,8 @@ func (s *Simulator) startDelivery(v *vehicle) {
 	v.phase = PhaseDelivering
 	v.orderStart = time.Time{}
 	v.route = nil
+	v.verbatim = false
+	v.goal = bestLM
 	if bestLM == roadnet.NoLandmark {
 		return // retry next step
 	}

@@ -19,6 +19,12 @@ const (
 	MetricActive        = "mobirescue_sim_active_requests"
 	MetricServing       = "mobirescue_sim_serving_teams"
 	MetricSteps         = "mobirescue_sim_steps_total"
+	// Resilience counters (see README "Resilience & chaos testing").
+	// Rejected orders carry an additional reason="..." label.
+	MetricOrdersRejected  = "mobirescue_sim_orders_rejected_total"
+	MetricReroutes        = "mobirescue_sim_reroutes_total"
+	MetricStrandedDiverts = "mobirescue_sim_stranded_diverts_total"
+	MetricVehicleStalls   = "mobirescue_sim_vehicle_stalls_total"
 )
 
 // simMetrics holds the simulator's pre-resolved metric handles. Every
@@ -37,6 +43,13 @@ type simMetrics struct {
 	active        *obs.Gauge
 	serving       *obs.Gauge
 	steps         *obs.Counter
+	// Resilience counters.
+	rejectedVehicle   *obs.Counter
+	rejectedTarget    *obs.Counter
+	rejectedDuplicate *obs.Counter
+	reroutes          *obs.Counter
+	diverts           *obs.Counter
+	stalls            *obs.Counter
 }
 
 // newSimMetrics resolves the handles for one run, labeling per-method
@@ -62,5 +75,17 @@ func newSimMetrics(reg *obs.Registry, method string) simMetrics {
 		active:   reg.Gauge(MetricActive, "Appeared-and-unserved requests at the last round.", m),
 		serving:  reg.Gauge(MetricServing, "Teams serving at the last round (Fig. 14).", m),
 		steps:    reg.Counter(MetricSteps, "Simulator integration steps executed.", m),
+		rejectedVehicle: reg.Counter(MetricOrdersRejected,
+			"Orders rejected by simulator validation.", m, obs.L("reason", "bad_vehicle")),
+		rejectedTarget: reg.Counter(MetricOrdersRejected,
+			"Orders rejected by simulator validation.", m, obs.L("reason", "bad_target")),
+		rejectedDuplicate: reg.Counter(MetricOrdersRejected,
+			"Orders rejected by simulator validation.", m, obs.L("reason", "duplicate")),
+		reroutes: reg.Counter(MetricReroutes,
+			"Vehicle routes re-planned after a mid-episode closure.", m),
+		diverts: reg.Counter(MetricStrandedDiverts,
+			"Stranded vehicles diverted to a reachable hospital or the depot.", m),
+		stalls: reg.Counter(MetricVehicleStalls,
+			"Vehicle breakdown faults applied.", m),
 	}
 }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// ResilienceStats counts the simulator's hardening events over one run.
+// They quantify how hostile the substrate was (stalls, closures forcing
+// re-routes) and how much garbage the dispatcher emitted (rejected
+// orders). All fields are plain counters so reports derived from them
+// are byte-identical across runs with identical fault schedules.
+type ResilienceStats struct {
+	// OrdersRejectedBadVehicle counts orders naming unknown vehicles.
+	OrdersRejectedBadVehicle int
+	// OrdersRejectedBadTarget counts orders naming out-of-range target
+	// segments.
+	OrdersRejectedBadTarget int
+	// OrdersRejectedDuplicate counts same-round duplicate orders for
+	// one vehicle (the first order wins).
+	OrdersRejectedDuplicate int
+	// Reroutes counts vehicles whose remaining route crossed a
+	// newly-closed segment and was re-planned mid-episode.
+	Reroutes int
+	// StrandedDiverts counts vehicles that could not be re-planned to
+	// their target and were diverted to the nearest reachable hospital
+	// or the depot.
+	StrandedDiverts int
+	// VehicleStalls counts breakdown faults applied to vehicles.
+	VehicleStalls int
+}
+
+// TotalRejected sums all order rejections.
+func (s ResilienceStats) TotalRejected() int {
+	return s.OrdersRejectedBadVehicle + s.OrdersRejectedBadTarget + s.OrdersRejectedDuplicate
+}
+
+// Any reports whether any hardening event occurred.
+func (s ResilienceStats) Any() bool {
+	return s != ResilienceStats{}
+}
+
+// String renders the stats on one line.
+func (s ResilienceStats) String() string {
+	return fmt.Sprintf("rejected=%d (vehicle=%d target=%d dup=%d) reroutes=%d diverts=%d stalls=%d",
+		s.TotalRejected(), s.OrdersRejectedBadVehicle, s.OrdersRejectedBadTarget,
+		s.OrdersRejectedDuplicate, s.Reroutes, s.StrandedDiverts, s.VehicleStalls)
+}
+
+// ratio returns a/b guarding b == 0.
+func ratio(a, b int) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// meanSeconds returns the mean of xs, or 0 when empty.
+func meanSeconds(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WriteResilienceReport writes a deterministic plain-text degradation
+// report comparing a faulty run against its fault-free baseline: served
+// and timely ratios, mean driving-delay and timeliness deltas, and the
+// run's hardening counters. Identical inputs produce byte-identical
+// output, so the report doubles as the determinism fixture for chaos
+// seeds ("same -chaos-seed ⇒ same report").
+func WriteResilienceReport(w io.Writer, baseline, faulty *Result) error {
+	if baseline == nil || faulty == nil {
+		return fmt.Errorf("sim: resilience report needs both results")
+	}
+	_, err := fmt.Fprintf(w,
+		"resilience report: %s\n"+
+			"  requests:        %d\n"+
+			"  served:          %d -> %d (ratio %.3f)\n"+
+			"  timely served:   %d -> %d (ratio %.3f)\n"+
+			"  mean delay (s):  %.1f -> %.1f\n"+
+			"  mean timeli (s): %.1f -> %.1f\n"+
+			"  hardening:       %s\n",
+		faulty.Method,
+		len(faulty.Requests),
+		baseline.TotalServed(), faulty.TotalServed(),
+		ratio(faulty.TotalServed(), baseline.TotalServed()),
+		baseline.TotalTimelyServed(), faulty.TotalTimelyServed(),
+		ratio(faulty.TotalTimelyServed(), baseline.TotalTimelyServed()),
+		meanSeconds(baseline.DrivingDelaysSeconds()), meanSeconds(faulty.DrivingDelaysSeconds()),
+		meanSeconds(baseline.TimelinessSeconds()), meanSeconds(faulty.TimelinessSeconds()),
+		faulty.Resilience)
+	return err
+}

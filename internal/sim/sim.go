@@ -129,6 +129,16 @@ type CostProvider interface {
 	CostAt(t time.Time) roadnet.CostModel
 }
 
+// VehicleFault schedules one vehicle breakdown: the vehicle stalls in
+// place from At for Duration (orders still queue and apply; it just
+// cannot move until it recovers). The chaos package generates these;
+// tests may hand-craft them.
+type VehicleFault struct {
+	Vehicle  VehicleID
+	At       time.Time
+	Duration time.Duration
+}
+
 // RescueCost adapts a civilian cost model for rescue vehicles: rescue
 // teams are equipped to push through flooded-closed segments at crawl
 // speed instead of being blocked outright, so every segment stays
@@ -206,6 +216,11 @@ type Config struct {
 	// CrawlFactor is the fraction of the speed limit a vehicle manages on
 	// a flooded-closed segment it was (mis)routed onto.
 	CrawlFactor float64
+	// VehicleFaults is an optional breakdown schedule (chaos testing):
+	// each fault stalls its vehicle in place for the given duration.
+	// Faults naming unknown vehicles are dropped (and counted as
+	// rejections) rather than trusted.
+	VehicleFaults []VehicleFault
 	// Metrics, when non-nil, receives run metrics (rounds, pickups,
 	// dropoffs, per-method decision-latency histograms). Nil — the
 	// default — disables metrics at zero cost on the hot paths.
@@ -256,6 +271,11 @@ func (c Config) Validate() error {
 	if c.CrawlFactor <= 0 || c.CrawlFactor > 1 {
 		return fmt.Errorf("sim: CrawlFactor %v must be in (0,1]", c.CrawlFactor)
 	}
+	for i, f := range c.VehicleFaults {
+		if f.Duration < 0 {
+			return fmt.Errorf("sim: vehicle fault %d has negative duration", i)
+		}
+	}
 	return nil
 }
 
@@ -300,4 +320,8 @@ type Result struct {
 	Rounds   []RoundStat
 	// ComputeDelays are the dispatcher's per-round computation delays.
 	ComputeDelays []time.Duration
+	// Resilience summarizes the hardening events of the run: rejected
+	// orders, mid-episode re-routes, stranded diversions, and vehicle
+	// stalls. All zero on a benign, well-behaved run.
+	Resilience ResilienceStats
 }
