@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz verify clean
+.PHONY: all build vet test race bench bench-smoke fuzz verify clean
 
 all: verify race
 
@@ -22,9 +22,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Decide-latency and figure micro-benchmarks (quick sanity pass).
+# Decide-latency micro-benchmarks, the routing fast-path benchmarks
+# (BenchmarkTree must report 0 allocs/op; BenchmarkTreeCached must be
+# >=10x BenchmarkTreeCold), and the BENCH_routing.json artifact (ns/op,
+# allocs/op, Decide cache speedup, comparison wall-clock serial vs
+# parallel).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDecide -benchtime 100x ./internal/dispatch
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/roadnet
+	$(GO) run ./cmd/benchroute -out BENCH_routing.json
+
+# One-iteration smoke pass over every roadnet/dispatch benchmark — CI
+# runs this so benchmark code cannot rot between commits.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/roadnet ./internal/dispatch
 
 # Short fuzz pass over the city loader (the corpus seeds always run as
 # part of `make test`; this explores further).

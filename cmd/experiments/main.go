@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr] [-cpuprofile f] [-memprofile f]
 //
 // -chaos re-runs the comparison under deterministic fault injection
 // after the fault-free pass and prints each method's degradation
@@ -44,9 +44,27 @@ func main() {
 		chaosArg = flag.String("chaos", "off", "chaos profile: "+chaos.ProfileNames)
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		workers  = flag.Int("workers", 0, "parallelism bound for routing prefetch and the three comparison runs (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, slog.String("cmd", "experiments"))
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				logger.Warn("writing mem profile", slog.Any("err", err))
+			}
+		}()
+	}
 
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("mobirescue")
@@ -61,7 +79,7 @@ func main() {
 		logger.Info("observability server listening", slog.String("addr", server.Addr()))
 	}
 
-	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, reg, logger)
+	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, *workers, reg, logger)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -190,7 +208,7 @@ func runChaosComparison(sys *core.System, base *core.Comparison, profile chaos.P
 
 // buildSystem constructs scenario and system at the requested scale,
 // wiring the metrics registry and logger through both.
-func buildSystem(ctx context.Context, scale string, seed int64, teams int, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
+func buildSystem(ctx context.Context, scale string, seed int64, teams, workers int, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
 	scCfg, err := core.ScenarioConfigForScale(scale)
 	if err != nil {
 		return nil, nil, err
@@ -204,6 +222,7 @@ func buildSystem(ctx context.Context, scale string, seed int64, teams int, reg *
 	sysCfg := core.DefaultSystemConfig()
 	sysCfg.Seed = seed
 	sysCfg.Teams = teams
+	sysCfg.Workers = workers
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-chaos profile] [-chaos-seed S] [-obs addr] [-report]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-chaos profile] [-chaos-seed S] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
 //
 // With -obs the process serves /metrics (Prometheus text format),
 // /healthz, /debug/vars, and /debug/pprof/* on the given address for the
@@ -44,6 +44,9 @@ func main() {
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 		report   = flag.Bool("report", false, "print the span/metric report on stderr after the run")
 		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
+		workers  = flag.Int("workers", 0, "parallelism bound for routing prefetch and eval runs (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
 	flag.Parse()
 	level := slog.LevelInfo
@@ -51,6 +54,21 @@ func main() {
 		level = slog.LevelDebug
 	}
 	logger := obs.NewLogger(os.Stderr, level, slog.String("cmd", "mobirescue"))
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				logger.Warn("writing mem profile", slog.Any("err", err))
+			}
+		}()
+	}
 
 	cfg, err := core.ScenarioConfigForScale(*scale)
 	if err != nil {
@@ -89,6 +107,7 @@ func main() {
 	sysCfg := core.DefaultSystemConfig()
 	sysCfg.Seed = *seed
 	sysCfg.Teams = *teams
+	sysCfg.Workers = *workers
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)

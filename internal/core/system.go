@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobirescue/internal/chaos"
@@ -42,6 +45,13 @@ type SystemConfig struct {
 	Sim sim.Config
 	// IPLatency models the baselines' integer-programming solve time.
 	IPLatency ilp.LatencyModel
+	// Workers bounds the evaluation pipeline's parallelism: the routing
+	// layer's tree prefetching inside every simulation, the concurrent
+	// method runs of RunComparison, and the concurrent eval days of
+	// RunDispatcherDays. 0 means GOMAXPROCS; 1 forces fully serial
+	// execution. Results are byte-identical for any value — parallel
+	// units are independent deterministic runs merged in a fixed order.
+	Workers int
 	// Chaos, when enabled, injects the profile's faults into every
 	// simulation run (flash-flood surges, vehicle breakdowns, sensing
 	// and dispatcher faults — see internal/chaos) and wraps every
@@ -252,7 +262,18 @@ func (s *System) simConfigForDay(ep *Episode, day int) sim.Config {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 24 * time.Hour
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.Config.Workers
+	}
 	return cfg
+}
+
+// workers returns the effective parallelism bound (always >= 1).
+func (s *System) workers() int {
+	if s.Config.Workers > 0 {
+		return s.Config.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SetChaos (re)configures fault injection for every subsequent run:
@@ -400,7 +421,7 @@ func (s *System) RunMethod(method string, episodes int) (*sim.Result, error) {
 		}
 		return s.runEvalDay(day, rescue)
 	case "schedule", "Schedule":
-		return s.runEvalDay(day, dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency))
+		return s.runEvalDay(day, s.newSchedule())
 	default:
 		return nil, fmt.Errorf("core: unknown method %q (want mr, rescue, or schedule)", method)
 	}
@@ -414,6 +435,14 @@ func (s *System) runEvalDay(day int, disp sim.Dispatcher) (*sim.Result, error) {
 	return s.runDay(ctx, s.Scenario.Eval, day, disp)
 }
 
+// newSchedule builds the Schedule baseline with the system's worker
+// bound applied to its private free-flow router.
+func (s *System) newSchedule() *dispatch.Schedule {
+	sched := dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency)
+	sched.SetWorkers(s.Config.Workers)
+	return sched
+}
+
 // RunDispatcher runs an arbitrary dispatcher over the evaluation
 // episode's peak request day — the hook ablation studies use to swap in
 // modified baselines.
@@ -421,34 +450,103 @@ func (s *System) RunDispatcher(disp sim.Dispatcher) (*sim.Result, error) {
 	return s.runEvalDay(s.Scenario.Eval.PeakRequestDay(), disp)
 }
 
+// RunDispatcherDays evaluates a dispatch method over several evaluation
+// days, up to Workers of them concurrently. Dispatchers in this repo
+// are stateful (Rescue learns online, MR carries assignments), so the
+// caller supplies a factory that builds one fresh dispatcher per day.
+// Results are returned indexed like days and are byte-identical to
+// running the days serially: each day is an independent deterministic
+// simulation, and the merge order is fixed by the days slice, not by
+// completion order.
+func (s *System) RunDispatcherDays(days []int, factory func(day int) (sim.Dispatcher, error)) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(days))
+	errs := make([]error, len(days))
+	run := func(i int) {
+		disp, err := factory(days[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = s.runEvalDay(days[i], disp)
+	}
+	workers := s.workers()
+	if workers > len(days) {
+		workers = len(days)
+	}
+	if workers <= 1 {
+		for i := range days {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(days) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: eval day %d: %w", days[i], err)
+		}
+	}
+	return results, nil
+}
+
 // RunComparison evaluates MobiRescue and both baselines on the
-// evaluation episode's peak request day (the paper's Sep 16).
+// evaluation episode's peak request day (the paper's Sep 16). The three
+// method runs are independent deterministic simulations; with Workers
+// != 1 they execute concurrently and are merged in a fixed order, so
+// the comparison is byte-identical to a serial run.
 func (s *System) RunComparison() (*Comparison, error) {
 	day := s.Scenario.Eval.PeakRequestDay()
 	cmp := &Comparison{Day: day, Teams: s.Teams, Results: make(map[string]*sim.Result)}
 
 	s.MR.SetTraining(false)
-	mrRes, err := s.runEvalDay(day, s.MR)
-	if err != nil {
-		return nil, fmt.Errorf("core: MobiRescue run: %w", err)
-	}
-	cmp.Results["MobiRescue"] = mrRes
-
 	rescue, err := s.NewRescueBaseline()
 	if err != nil {
 		return nil, err
 	}
-	rescueRes, err := s.runEvalDay(day, rescue)
-	if err != nil {
-		return nil, fmt.Errorf("core: Rescue run: %w", err)
+	runs := []struct {
+		name string
+		disp sim.Dispatcher
+	}{
+		{"MobiRescue", s.MR},
+		{"Rescue", rescue},
+		{"Schedule", s.newSchedule()},
 	}
-	cmp.Results["Rescue"] = rescueRes
-
-	schedule := dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency)
-	scheduleRes, err := s.runEvalDay(day, schedule)
-	if err != nil {
-		return nil, fmt.Errorf("core: Schedule run: %w", err)
+	results := make([]*sim.Result, len(runs))
+	errs := make([]error, len(runs))
+	if s.workers() <= 1 {
+		for i := range runs {
+			results[i], errs[i] = s.runEvalDay(day, runs[i].disp)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(runs))
+		for i := range runs {
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = s.runEvalDay(day, runs[i].disp)
+			}(i)
+		}
+		wg.Wait()
 	}
-	cmp.Results["Schedule"] = scheduleRes
+	for i, r := range runs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: %s run: %w", r.name, errs[i])
+		}
+		cmp.Results[r.name] = results[i]
+	}
 	return cmp, nil
 }

@@ -32,6 +32,25 @@ import (
 // by the SVM stage.
 type PredictFn func(t time.Time) map[roadnet.SegmentID]float64
 
+// prefetchTrees warms r's epoch-scoped shortest-path tree cache for the
+// head landmark of every given vehicle, computing missing trees in
+// parallel across the router's worker bound. Dispatch decision loops
+// stay sequential — prefetching only moves the Dijkstra work onto a
+// pool, so a dispatcher's output is byte-identical for any worker
+// count. Vehicles co-located at a landmark (the depot at round 0, a
+// hospital) share one tree instead of paying one Dijkstra each.
+func prefetchTrees(r *roadnet.Router, vehicles []sim.VehicleState) {
+	if r == nil || len(vehicles) == 0 {
+		return
+	}
+	g := r.Graph()
+	srcs := make([]roadnet.LandmarkID, 0, len(vehicles))
+	for _, v := range vehicles {
+		srcs = append(srcs, g.Segment(v.Pos.Seg).To)
+	}
+	r.PrefetchTrees(srcs)
+}
+
 // regionDemand aggregates a per-segment prediction into per-region totals
 // (index 0 unused). Keys are visited in sorted order so floating-point
 // summation is independent of map iteration order — per-region totals,

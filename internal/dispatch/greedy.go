@@ -33,6 +33,15 @@ func (Greedy) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	if len(snap.ActiveRequests) == 0 {
 		return nil, delay
 	}
+	// Warm the shared tree cache for every idle team in parallel; the
+	// sequential claim loop below then runs on cache hits.
+	idle := make([]sim.VehicleState, 0, len(snap.Vehicles))
+	for _, v := range snap.Vehicles {
+		if v.Phase == sim.PhaseIdle {
+			idle = append(idle, v)
+		}
+	}
+	prefetchTrees(snap.Router, idle)
 	claimed := make(map[roadnet.SegmentID]bool, len(snap.ActiveRequests))
 	var orders []sim.Order
 	for _, v := range snap.Vehicles {

@@ -262,6 +262,17 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 		}
 	}
 
+	// Warm the shared tree cache for every free team in parallel before
+	// the sequential decision loop: co-located teams share one Dijkstra
+	// and the loop below runs on cache hits.
+	free := make([]sim.VehicleState, 0, len(snap.Vehicles))
+	for _, v := range snap.Vehicles {
+		if (v.Phase == sim.PhaseIdle || v.Phase == sim.PhaseToDepot) && v.Onboard < m.cfg.Capacity {
+			free = append(free, v)
+		}
+	}
+	prefetchTrees(snap.Router, free)
+
 	var orders []sim.Order
 	for _, v := range snap.Vehicles {
 		// Only redirect teams that are free: teams already driving to a
@@ -542,9 +553,19 @@ func (m *MobiRescue) coverWaitingRequests(snap *sim.Snapshot, orders []sim.Order
 }
 
 // EndEpisode closes all open transitions at the end of a training day.
+// Vehicles are visited in ID order: m.last is a map, and feeding the
+// learner its closing transitions in map-iteration order made whole
+// training runs — and everything downstream of the learned policy —
+// irreproducible from one invocation to the next.
 func (m *MobiRescue) EndEpisode() {
 	if m.training {
-		for _, prev := range m.last {
+		ids := make([]sim.VehicleID, 0, len(m.last))
+		for id := range m.last {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			prev := m.last[id]
 			reward := -m.cfg.Beta * (prev.plannedTime / 3600)
 			if prev.action != m.depotAction() {
 				reward -= m.cfg.Gamma

@@ -92,6 +92,9 @@ func (r *Rescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	if len(avail) == 0 {
 		return nil, r.latency.Latency(0)
 	}
+	// Warm the shared tree cache for every free team in parallel; the
+	// cost-matrix loop below runs on cache hits.
+	prefetchTrees(snap.Router, avail)
 
 	// Predicted demand per segment at this hour; keep positive entries.
 	// Openness is judged on the civilian flood model: under the

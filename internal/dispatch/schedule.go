@@ -42,6 +42,11 @@ func NewSchedule(g *roadnet.Graph, latency ilp.LatencyModel) *Schedule {
 // Name implements sim.Dispatcher.
 func (s *Schedule) Name() string { return "Schedule" }
 
+// SetWorkers bounds the parallel tree prefetching of the baseline's
+// private free-flow router (0 = GOMAXPROCS, 1 = serial). Worker count
+// never changes the orders produced. Call before the first Decide.
+func (s *Schedule) SetWorkers(n int) { s.freeRouter.SetWorkers(n) }
+
 // vehiclePlan caches one vehicle's free-flow shortest-path tree so the
 // cost matrix and the final routes come from a single Dijkstra per
 // vehicle.
@@ -99,6 +104,11 @@ func (s *Schedule) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	if len(avail) == 0 {
 		return nil, delay
 	}
+	// Warm the free-flow tree cache in parallel. The freeRouter never
+	// rebinds its cost, so its cache epoch never advances and trees for
+	// recurring positions (the hospitals teams hold between calls) are
+	// hits across the whole run, not just within a round.
+	prefetchTrees(s.freeRouter, avail)
 	plans := make([]vehiclePlan, len(avail))
 	for i, v := range avail {
 		tree, head := s.freeRouter.TreeFromPosition(v.Pos)

@@ -110,26 +110,23 @@ func (tl *timeline) positionAt(t time.Time) (geo.Point, float64) {
 	return ep.toPos, 0
 }
 
-// treeKey caches shortest-path trees per (day, source landmark).
-type treeKey struct {
-	day int
-	src roadnet.LandmarkID
-}
-
-// routeCache memoizes per-day routers and their Dijkstra trees.
+// routeCache memoizes one router per simulated day. Per-source
+// shortest-path trees ride on each router's own epoch-scoped tree cache
+// (roadnet.Router.CachedTree): a day's router never rebinds its cost
+// model, so its cache epoch never advances and every tree computed for
+// that day stays a hit for the rest of the generation — the same
+// memoization the private (day, src) tree map here used to do by hand.
 type routeCache struct {
 	g       *roadnet.Graph
 	dis     Disaster
 	cfg     Config
 	routers map[int]*roadnet.Router
-	trees   map[treeKey]*roadnet.Tree
 }
 
 func newRouteCache(g *roadnet.Graph, dis Disaster, cfg Config) *routeCache {
 	return &routeCache{
 		g: g, dis: dis, cfg: cfg,
 		routers: make(map[int]*roadnet.Router),
-		trees:   make(map[treeKey]*roadnet.Tree),
 	}
 }
 
@@ -143,20 +140,10 @@ func (rc *routeCache) router(day int) *roadnet.Router {
 	return r
 }
 
-func (rc *routeCache) tree(day int, src roadnet.LandmarkID) *roadnet.Tree {
-	key := treeKey{day, src}
-	if t, ok := rc.trees[key]; ok {
-		return t
-	}
-	t := rc.router(day).Tree(src)
-	rc.trees[key] = t
-	return t
-}
-
 // route returns the segment path and travel time between landmarks on a
 // given day, or ok=false when unreachable.
 func (rc *routeCache) route(day int, from, to roadnet.LandmarkID) (segs []roadnet.SegmentID, dur time.Duration, ok bool) {
-	tree := rc.tree(day, from)
+	tree := rc.router(day).CachedTree(from)
 	if !tree.Reachable(to) {
 		return nil, 0, false
 	}

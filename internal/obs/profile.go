@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile starts a CPU profile writing to path and returns a
+// stop function that ends the profile and closes the file. It is the
+// -cpuprofile half of the commands' profiling flags; for live profiling
+// prefer the ops server's /debug/pprof endpoints.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live
+// objects, not garbage awaiting collection) and writes an allocs/heap
+// profile to path. It is the -memprofile half of the commands'
+// profiling flags.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("obs: write mem profile: %w", err)
+	}
+	return nil
+}

@@ -1,14 +1,18 @@
 package roadnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // CostModel assigns a traversal time to each segment and reports whether
 // the segment is currently open. The flood package provides a cost model
 // reflecting the surviving network Ẽ; FreeFlow ignores the disaster.
+//
+// Cost models handed to a Router must be immutable snapshots: the
+// router's tree cache assumes every SegmentTime answer stays fixed
+// between epoch bumps (see Rebind/Invalidate).
 type CostModel interface {
 	// SegmentTime returns the traversal time in seconds and whether the
 	// segment is drivable.
@@ -24,11 +28,29 @@ var _ CostModel = FreeFlow{}
 // SegmentTime implements CostModel.
 func (FreeFlow) SegmentTime(s Segment) (float64, bool) { return s.FreeFlowTime(), true }
 
+// costBox wraps a CostModel so the router can swap it atomically: an
+// atomic.Value would panic on inconsistently-typed models, and a plain
+// interface field would race with stragglers (e.g. a dispatch.Resilient
+// primary that outlived its deadline) still routing under the old cost.
+type costBox struct{ cm CostModel }
+
 // Router computes time-shortest routes over a graph under a cost model.
-// A Router is safe for concurrent use.
+//
+// A Router is safe for concurrent routing. It carries an epoch-scoped
+// shortest-path tree cache (see treecache.go): TreeFromPosition,
+// CachedTree, and RouteToSegmentEnd share trees per source landmark
+// within an epoch, and Rebind/Invalidate start a new epoch when the cost
+// model changes (the simulator does this once per decision window).
 type Router struct {
 	g    *Graph
-	cost CostModel
+	cost atomic.Pointer[costBox]
+
+	// workers bounds PrefetchTrees fan-out; 0 means GOMAXPROCS.
+	// Set once at setup (SetWorkers), before concurrent use.
+	workers int
+
+	cache treeCache
+	met   routerMetrics
 }
 
 // NewRouter returns a Router over g using cost. A nil cost defaults to
@@ -37,18 +59,76 @@ func NewRouter(g *Graph, cost CostModel) *Router {
 	if cost == nil {
 		cost = FreeFlow{}
 	}
-	return &Router{g: g, cost: cost}
+	r := &Router{g: g}
+	r.cost.Store(&costBox{cm: cost})
+	r.cache.init()
+	return r
 }
 
 // Graph returns the underlying graph.
 func (r *Router) Graph() *Graph { return r.g }
 
-// Tree is a single-source shortest-path tree produced by Router.Tree.
+// Cost returns the cost model currently bound to the router.
+func (r *Router) Cost() CostModel { return r.cost.Load().cm }
+
+// Rebind swaps the router's cost model and starts a new cache epoch, so
+// no tree computed under the old cost is ever served again. This is the
+// window-boundary entry point: instead of discarding the router (and all
+// its warmed-up cache structure) each dispatch window, callers rebind the
+// fresh cost snapshot in place.
+//
+// Rebind is memory-safe under concurrency, but a routing call racing the
+// rebind may observe either epoch's cost; callers needing strict window
+// consistency (the simulator) rebind only at round boundaries.
+func (r *Router) Rebind(cost CostModel) {
+	if cost == nil {
+		cost = FreeFlow{}
+	}
+	// Order matters: publish the new cost before bumping the epoch, so
+	// any reader that observes the new epoch also observes the new cost.
+	r.cost.Store(&costBox{cm: cost})
+	r.Invalidate()
+}
+
+// Tree is a single-source shortest-path tree produced by Router.Tree,
+// Router.TreeInto, or the router's epoch-scoped tree cache.
+//
+// Storage is generation-stamped: dist/prevSeg slots are meaningful only
+// where stamp[i] == gen, so recomputing into the same storage needs no
+// O(V) clearing and a fresh tree needs no O(V) +Inf initialization.
+// Trees obtained from the cache are immutable and remain readable even
+// after an epoch bump (stragglers see consistent, merely stale data);
+// trees from a Workspace are valid only until the workspace's next
+// TreeInto.
 type Tree struct {
 	g       *Graph
 	Source  LandmarkID
 	dist    []float64
 	prevSeg []SegmentID
+	stamp   []uint32
+	gen     uint32
+}
+
+// reset binds t to g/src and invalidates all slots in O(1) by bumping
+// the generation stamp. Arrays are (re)allocated only on first use or a
+// graph-size change.
+func (t *Tree) reset(g *Graph, src LandmarkID) {
+	n := g.NumLandmarks()
+	t.g = g
+	t.Source = src
+	if len(t.stamp) != n {
+		t.dist = make([]float64, n)
+		t.prevSeg = make([]SegmentID, n)
+		t.stamp = make([]uint32, n)
+		t.gen = 0
+	}
+	t.gen++
+	if t.gen == 0 { // wrapped after 2^32 reuses: one real clear, then restart
+		for i := range t.stamp {
+			t.stamp[i] = 0
+		}
+		t.gen = 1
+	}
 }
 
 // pqItem is an entry in the Dijkstra priority queue.
@@ -57,64 +137,144 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// minHeap is a typed binary min-heap of pqItems. Compared to the
+// previous container/heap-driven queue it avoids interface{} boxing on
+// every push/pop (the old code allocated one pqItem escape per Push)
+// and reuses its backing slice across computations.
+//
+// Determinism contract: the sift order deliberately replicates
+// container/heap (strict-less comparisons, left child preferred on
+// ties), so nodes at equal distance settle in exactly the order the
+// seed implementation settled them. That keeps every shortest-path tree
+// — and therefore every simulated route, reroute, and figure — byte-
+// identical to pre-optimization runs. A wider (e.g. 4-ary) heap would
+// pop equal keys in a different order and silently pick different,
+// equally-short paths; do not change the arity or the comparisons
+// without re-pinning the golden comparison outputs.
+type minHeap struct{ items []pqItem }
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+func (h *minHeap) reset() { h.items = h.items[:0] }
+
+// push appends and sifts up, mirroring container/heap.Push + up.
+func (h *minHeap) push(it pqItem) {
+	h.items = append(h.items, it)
+	j := len(h.items) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h.items[j].dist < h.items[i].dist) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		j = i
+	}
 }
 
-// Tree runs Dijkstra from src and returns the full shortest-path tree.
+// pop removes and returns the minimum, mirroring container/heap.Pop:
+// swap root with the last element, sift the new root down over the
+// shortened heap, then strip the old root off the tail.
+func (h *minHeap) pop() pqItem {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child, preferred on ties like container/heap
+		if j2 := j1 + 1; j2 < n && h.items[j2].dist < h.items[j1].dist {
+			j = j2
+		}
+		if !(h.items[j].dist < h.items[i].dist) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		i = j
+	}
+	top := h.items[n]
+	h.items = h.items[:n]
+	return top
+}
+
+// Workspace holds the reusable state of one Dijkstra computation: the
+// generation-stamped tree arrays plus the typed heap. Reusing a
+// workspace across TreeInto calls makes the computation allocation-free
+// after warm-up. A Workspace is not safe for concurrent use; use one per
+// goroutine.
+type Workspace struct {
+	tree Tree
+	heap minHeap
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// TreeInto runs Dijkstra from src into ws, reusing its buffers, and
+// returns the workspace's tree. The returned tree aliases ws and is only
+// valid until the next TreeInto on the same workspace. After warm-up
+// this performs zero heap allocations.
+func (r *Router) TreeInto(ws *Workspace, src LandmarkID) *Tree {
+	r.computeTree(&ws.tree, &ws.heap, src)
+	return &ws.tree
+}
+
+// Tree runs Dijkstra from src and returns a freshly allocated
+// shortest-path tree the caller owns. Hot paths should prefer CachedTree
+// (shared per epoch) or TreeInto (caller-owned reusable workspace).
 func (r *Router) Tree(src LandmarkID) *Tree {
-	n := r.g.NumLandmarks()
-	t := &Tree{
-		g:       r.g,
-		Source:  src,
-		dist:    make([]float64, n),
-		prevSeg: make([]SegmentID, n),
-	}
-	for i := range t.dist {
-		t.dist[i] = math.Inf(1)
-		t.prevSeg[i] = NoSegment
-	}
-	if !r.g.validLandmark(src) {
-		return t
-	}
-	t.dist[src] = 0
-	q := pq{{lm: src, dist: 0}}
-	for len(q) > 0 {
-		item := heap.Pop(&q).(pqItem)
-		if item.dist > t.dist[item.lm] {
-			continue // stale entry
-		}
-		for _, sid := range r.g.Out(item.lm) {
-			seg := r.g.Segment(sid)
-			w, open := r.cost.SegmentTime(seg)
-			if !open || math.IsInf(w, 1) {
-				continue
-			}
-			nd := item.dist + w
-			if nd < t.dist[seg.To] {
-				t.dist[seg.To] = nd
-				t.prevSeg[seg.To] = sid
-				heap.Push(&q, pqItem{lm: seg.To, dist: nd})
-			}
-		}
-	}
+	t := &Tree{}
+	h := r.cache.getHeap()
+	r.computeTree(t, h, src)
+	r.cache.putHeap(h)
 	return t
+}
+
+// computeTree runs Dijkstra from src into t, using h as scratch.
+func (r *Router) computeTree(t *Tree, h *minHeap, src LandmarkID) {
+	var startNS int64
+	if r.met.dijkstraSeconds != nil {
+		startNS = nowNanos()
+	}
+	t.reset(r.g, src)
+	if r.g.validLandmark(src) {
+		cost := r.Cost()
+		t.dist[src] = 0
+		t.prevSeg[src] = NoSegment
+		t.stamp[src] = t.gen
+		h.reset()
+		h.push(pqItem{lm: src, dist: 0})
+		for len(h.items) > 0 {
+			item := h.pop()
+			if item.dist > t.dist[item.lm] {
+				continue // stale entry
+			}
+			for _, sid := range r.g.Out(item.lm) {
+				seg := r.g.Segment(sid)
+				w, open := cost.SegmentTime(seg)
+				if !open || math.IsInf(w, 1) {
+					continue
+				}
+				nd := item.dist + w
+				to := seg.To
+				if t.stamp[to] == t.gen && nd >= t.dist[to] {
+					continue
+				}
+				t.dist[to] = nd
+				t.prevSeg[to] = sid
+				t.stamp[to] = t.gen
+				h.push(pqItem{lm: to, dist: nd})
+			}
+		}
+	}
+	if r.met.dijkstraSeconds != nil {
+		r.met.dijkstraSeconds.Observe(float64(nowNanos()-startNS) / 1e9)
+	}
 }
 
 // TimeTo returns the travel time in seconds from the tree source to lm,
 // or +Inf when unreachable.
 func (t *Tree) TimeTo(lm LandmarkID) float64 {
-	if lm < 0 || int(lm) >= len(t.dist) {
+	if lm < 0 || int(lm) >= len(t.stamp) || t.stamp[lm] != t.gen {
 		return math.Inf(1)
 	}
 	return t.dist[lm]
@@ -131,6 +291,9 @@ func (t *Tree) PathTo(lm LandmarkID) ([]SegmentID, error) {
 	}
 	var rev []SegmentID
 	for cur := lm; cur != t.Source; {
+		if t.stamp[cur] != t.gen {
+			return nil, fmt.Errorf("%w: broken tree at landmark %d", ErrNoPath, cur)
+		}
 		sid := t.prevSeg[cur]
 		if sid == NoSegment {
 			return nil, fmt.Errorf("%w: broken tree at landmark %d", ErrNoPath, cur)
@@ -175,7 +338,7 @@ func (r *Router) remainingTime(pos Position) float64 {
 	if remaining < 0 {
 		remaining = 0
 	}
-	w, open := r.cost.SegmentTime(seg)
+	w, open := r.Cost().SegmentTime(seg)
 	if !open || math.IsInf(w, 1) {
 		// Traverse the rest at the free-flow time as a best effort.
 		w = seg.FreeFlowTime()
@@ -190,6 +353,9 @@ func (r *Router) remainingTime(pos Position) float64 {
 // target, per the paper's dispatch semantics ("drive to the end of the
 // destination road segment"). The returned route's first element is
 // pos.Seg (possibly partially traversed) and its last element is target.
+// The underlying shortest-path tree comes from the epoch-scoped cache,
+// so repeated route requests from the same landmark within a window pay
+// one Dijkstra total.
 func (r *Router) RouteToSegmentEnd(pos Position, target SegmentID) (Route, error) {
 	if !r.g.validSegment(pos.Seg) || !r.g.validSegment(target) {
 		return Route{}, fmt.Errorf("roadnet: invalid segment in route request (%d -> %d)", pos.Seg, target)
@@ -198,12 +364,12 @@ func (r *Router) RouteToSegmentEnd(pos Position, target SegmentID) (Route, error
 		return Route{Segs: []SegmentID{target}, Time: r.remainingTime(pos)}, nil
 	}
 	tgt := r.g.Segment(target)
-	tw, open := r.cost.SegmentTime(tgt)
+	tw, open := r.Cost().SegmentTime(tgt)
 	if !open || math.IsInf(tw, 1) {
 		return Route{}, fmt.Errorf("%w: target segment %d closed", ErrNoPath, target)
 	}
 	startLM := r.g.Segment(pos.Seg).To
-	tree := r.Tree(startLM)
+	tree := r.CachedTree(startLM)
 	if !tree.Reachable(tgt.From) {
 		return Route{}, fmt.Errorf("%w: segment %d unreachable from position", ErrNoPath, target)
 	}
@@ -229,10 +395,13 @@ func (r *Router) TravelTime(pos Position, target SegmentID) float64 {
 	return rt.Time
 }
 
-// TreeFromPosition runs Dijkstra from the head landmark of the segment the
-// vehicle is on, and returns the tree plus the time to finish that
-// segment. TimeTo(lm)+head gives the full position-to-landmark time.
+// TreeFromPosition returns the shortest-path tree from the head landmark
+// of the segment the vehicle is on, and the time to finish that segment.
+// TimeTo(lm)+head gives the full position-to-landmark time. The tree
+// comes from the epoch-scoped cache: vehicles co-located at a landmark
+// (a depot, a hospital) share one Dijkstra per decision window instead
+// of paying one each.
 func (r *Router) TreeFromPosition(pos Position) (tree *Tree, head float64) {
 	seg := r.g.Segment(pos.Seg)
-	return r.Tree(seg.To), r.remainingTime(pos)
+	return r.CachedTree(seg.To), r.remainingTime(pos)
 }

@@ -135,13 +135,23 @@ func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []
 	return s, nil
 }
 
-// refreshCost rebinds the cost model and router to the current time.
+// refreshCost rebinds the cost model to the current time. The router is
+// built once and kept for the whole run: Rebind swaps the cost snapshot
+// and bumps the tree-cache epoch, so trees warmed within one decision
+// window are shared by the engine and the dispatcher instead of being
+// thrown away with the router each round.
 func (s *Simulator) refreshCost() {
 	s.cost = s.costProv.CostAt(s.now)
 	if s.cost == nil {
 		s.cost = roadnet.FreeFlow{}
 	}
-	s.router = roadnet.NewRouter(s.city.Graph, s.cost)
+	if s.router == nil {
+		s.router = roadnet.NewRouter(s.city.Graph, s.cost)
+		s.router.SetWorkers(s.cfg.Workers)
+		s.router.EnableMetrics(s.cfg.Metrics)
+	} else {
+		s.router.Rebind(s.cost)
+	}
 }
 
 // Run executes the scenario and returns the collected result.

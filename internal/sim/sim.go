@@ -221,6 +221,13 @@ type Config struct {
 	// Faults naming unknown vehicles are dropped (and counted as
 	// rejections) rather than trusted.
 	VehicleFaults []VehicleFault
+	// Workers bounds the routing layer's parallel shortest-path tree
+	// prefetching (roadnet.Router.PrefetchTrees); 0 means GOMAXPROCS, 1
+	// forces serial routing. The worker count never changes results —
+	// parallel prefetch only warms the epoch-scoped tree cache that the
+	// sequential decision loop then reads — so any value is
+	// byte-identical to Workers=1.
+	Workers int
 	// Metrics, when non-nil, receives run metrics (rounds, pickups,
 	// dropoffs, per-method decision-latency histograms). Nil — the
 	// default — disables metrics at zero cost on the hot paths.
