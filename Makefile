@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz verify clean
+.PHONY: all build vet test race bench bench-smoke fuzz cover verify clean
 
 all: verify race
 
@@ -37,10 +37,32 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/roadnet ./internal/dispatch
 
-# Short fuzz pass over the city loader (the corpus seeds always run as
-# part of `make test`; this explores further).
+# Short fuzz pass over the city loader and the checkpoint loader (the
+# corpus seeds always run as part of `make test`; this explores further).
 fuzz:
 	$(GO) test -fuzz FuzzReadCityJSON -fuzztime 30s ./internal/roadnet
+	$(GO) test -fuzz FuzzLoadCheckpoint -fuzztime 30s ./internal/rl
+
+# Full-suite coverage profile (cover.out; CI uploads it as an artifact)
+# plus soft per-package floors for the training stack — the packages the
+# determinism and checkpoint guarantees live in. Floors warn instead of
+# failing: coverage is a signal, not a gate.
+COVER_FLOORS = internal/train:80 internal/rl:85 internal/nn:90
+
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./... | tee cover.txt
+	$(GO) tool cover -func=cover.out | tail -1
+	@for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$(grep -E "mobirescue/$$pkg[[:space:]]" cover.txt | grep -o 'coverage: [0-9.]*' | awk '{print $$2}'); \
+		if [ -z "$$pct" ]; then \
+			echo "WARN: no coverage reported for $$pkg"; \
+		elif awk "BEGIN{exit !($$pct < $$floor)}"; then \
+			echo "WARN: $$pkg coverage $$pct% is below the soft floor $$floor%"; \
+		else \
+			echo "ok: $$pkg coverage $$pct% (floor $$floor%)"; \
+		fi; \
+	done
 
 verify: vet build test
 

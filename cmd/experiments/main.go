@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr] [-cpuprofile f] [-memprofile f]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr] [-cpuprofile f] [-memprofile f]
+//
+// RL training uses the parallel actor–learner pipeline: -train-actors
+// logical actors (default 4) roll out under the -train-workers
+// concurrency bound; the trained policy is byte-identical for any
+// -train-workers value. -load-policy warm-starts from a checkpoint
+// (train on top with -episodes, or pass -episodes -1 to skip training);
+// -save-policy writes the trained state for later runs.
 //
 // -chaos re-runs the comparison under deterministic fault injection
 // after the fault-free pass and prints each method's degradation
@@ -37,7 +44,7 @@ import (
 func main() {
 	var (
 		scale    = flag.String("scale", "mid", "scenario scale: "+core.ScaleNames)
-		episodes = flag.Int("episodes", 0, "RL training episodes (0 = config default)")
+		episodes = flag.Int("episodes", 0, "RL training episodes (0 = config default, negative = skip training)")
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests, like the paper)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fig      = flag.String("fig", "all", "which figure to print: all, 9..16, latency")
@@ -45,6 +52,10 @@ func main() {
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 		workers  = flag.Int("workers", 0, "parallelism bound for routing prefetch and the three comparison runs (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		trainWk  = flag.Int("train-workers", 0, "parallel rollout bound for RL training (0 = -workers, then GOMAXPROCS; the trained policy is identical for any value)")
+		trainAc  = flag.Int("train-actors", 0, "logical actor count for RL training (0 = default 4; changes the training experiment, not just its speed)")
+		savePol  = flag.String("save-policy", "", "write the trained policy checkpoint to this file")
+		loadPol  = flag.String("load-policy", "", "warm-start the policy from this checkpoint before training")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -79,7 +90,7 @@ func main() {
 		logger.Info("observability server listening", slog.String("addr", server.Addr()))
 	}
 
-	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, *workers, reg, logger)
+	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, *workers, *trainWk, *trainAc, *savePol, reg, logger)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -89,13 +100,28 @@ func main() {
 	fmt.Printf("# eval day %d (peak), %d ground-truth requests\n",
 		sc.Eval.PeakRequestDay(), len(core.RequestsForDay(sc.Eval, sc.Eval.PeakRequestDay())))
 
-	start := time.Now()
-	returns, err := sys.TrainRL(*episodes)
-	if err != nil {
-		fatal(logger, err)
+	if *loadPol != "" {
+		n, err := sys.LoadPolicy(*loadPol)
+		if err != nil {
+			fatal(logger, err)
+		}
+		fmt.Printf("# warm-started policy from %s (%d episodes)\n", *loadPol, n)
 	}
-	fmt.Printf("# trained RL for %d episodes in %v (timely served per episode: %v)\n",
-		len(returns), time.Since(start).Round(time.Second), returns)
+	if *episodes >= 0 {
+		start := time.Now()
+		returns, err := sys.TrainRLParallel(*episodes)
+		if err != nil {
+			fatal(logger, err)
+		}
+		fmt.Printf("# trained RL for %d episodes in %v (timely served per episode: %v)\n",
+			len(returns), time.Since(start).Round(time.Second), returns)
+	}
+	if *savePol != "" {
+		if err := sys.SavePolicy(*savePol); err != nil {
+			fatal(logger, err)
+		}
+		fmt.Printf("# policy checkpoint written to %s (%d episodes)\n", *savePol, sys.TrainedEpisodes())
+	}
 
 	cmp, err := sys.RunComparison()
 	if err != nil {
@@ -208,7 +234,7 @@ func runChaosComparison(sys *core.System, base *core.Comparison, profile chaos.P
 
 // buildSystem constructs scenario and system at the requested scale,
 // wiring the metrics registry and logger through both.
-func buildSystem(ctx context.Context, scale string, seed int64, teams, workers int, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
+func buildSystem(ctx context.Context, scale string, seed int64, teams, workers, trainWorkers, trainActors int, checkpointPath string, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
 	scCfg, err := core.ScenarioConfigForScale(scale)
 	if err != nil {
 		return nil, nil, err
@@ -223,6 +249,9 @@ func buildSystem(ctx context.Context, scale string, seed int64, teams, workers i
 	sysCfg.Seed = seed
 	sysCfg.Teams = teams
 	sysCfg.Workers = workers
+	sysCfg.TrainWorkers = trainWorkers
+	sysCfg.TrainActors = trainActors
+	sysCfg.CheckpointPath = checkpointPath
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)

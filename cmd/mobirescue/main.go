@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-chaos profile] [-chaos-seed S] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-checkpoint-every N] [-chaos profile] [-chaos-seed S] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
 //
 // With -obs the process serves /metrics (Prometheus text format),
 // /healthz, /debug/vars, and /debug/pprof/* on the given address for the
@@ -15,6 +15,15 @@
 // vehicle breakdowns, sensing and dispatcher faults) and wraps the
 // dispatcher in the resilient degraded-mode shell; the same -chaos-seed
 // reproduces the same chaotic run.
+//
+// RL training (method mr) runs the parallel actor–learner pipeline:
+// -train-actors logical actors (default 4; fixes seeds and merge order,
+// so change it only to change the experiment) roll out concurrently
+// under the -train-workers bound. The trained policy is byte-identical
+// for any -train-workers value. -save-policy writes a versioned,
+// checksummed checkpoint after training (and every -checkpoint-every
+// rounds during it); -load-policy warm-starts from one, skipping
+// training when -episodes is 0.
 package main
 
 import (
@@ -45,6 +54,11 @@ func main() {
 		report   = flag.Bool("report", false, "print the span/metric report on stderr after the run")
 		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
 		workers  = flag.Int("workers", 0, "parallelism bound for routing prefetch and eval runs (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		trainWk  = flag.Int("train-workers", 0, "parallel rollout bound for RL training (0 = -workers, then GOMAXPROCS; the trained policy is identical for any value)")
+		trainAc  = flag.Int("train-actors", 0, "logical actor count for RL training (0 = default 4; changes the training experiment, not just its speed)")
+		savePol  = flag.String("save-policy", "", "write the trained policy checkpoint to this file (also checkpointed during training)")
+		loadPol  = flag.String("load-policy", "", "warm-start the policy from this checkpoint before training/evaluation")
+		ckptEv   = flag.Int("checkpoint-every", 0, "also checkpoint to -save-policy every N training rounds (0 = only at the end)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -108,6 +122,10 @@ func main() {
 	sysCfg.Seed = *seed
 	sysCfg.Teams = *teams
 	sysCfg.Workers = *workers
+	sysCfg.TrainWorkers = *trainWk
+	sysCfg.TrainActors = *trainAc
+	sysCfg.CheckpointPath = *savePol
+	sysCfg.CheckpointEvery = *ckptEv
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)
@@ -126,9 +144,38 @@ func main() {
 			slog.String("profile", profile.Name), slog.Int64("chaos-seed", *chaosSd))
 	}
 
-	res, err := sys.RunMethod(*method, *episodes)
+	if *loadPol != "" {
+		n, err := sys.LoadPolicy(*loadPol)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("policy warm-started",
+			slog.String("path", *loadPol), slog.Uint64("episodes", n))
+	}
+	switch *method {
+	case "mr", "mobirescue", "MobiRescue":
+		if *episodes > 0 {
+			start := time.Now()
+			returns, err := sys.TrainRLParallel(*episodes)
+			if err != nil {
+				fatal(logger, err)
+			}
+			logger.Info("RL training complete",
+				slog.Int("episodes", len(returns)),
+				slog.Uint64("total_episodes", sys.TrainedEpisodes()),
+				slog.Duration("elapsed", time.Since(start).Round(time.Second)))
+		}
+	}
+	res, err := sys.RunMethod(*method, 0)
 	if err != nil {
 		fatal(logger, err)
+	}
+	if *savePol != "" {
+		if err := sys.SavePolicy(*savePol); err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("policy checkpoint written",
+			slog.String("path", *savePol), slog.Uint64("episodes", sys.TrainedEpisodes()))
 	}
 	fmt.Printf("method:        %s\n", res.Method)
 	fmt.Printf("requests:      %d\n", len(res.Requests))

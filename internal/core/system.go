@@ -13,10 +13,13 @@ import (
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/dispatch"
 	"mobirescue/internal/ilp"
+	"mobirescue/internal/nn"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/rl"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 	"mobirescue/internal/svm"
+	"mobirescue/internal/train"
 	"mobirescue/internal/tsa"
 )
 
@@ -52,6 +55,20 @@ type SystemConfig struct {
 	// execution. Results are byte-identical for any value — parallel
 	// units are independent deterministic runs merged in a fixed order.
 	Workers int
+	// TrainActors is the logical actor count of the parallel actor–learner
+	// trainer (TrainRLParallel): it fixes per-actor RNG streams and the
+	// learner's merge order, so changing it changes the training run.
+	// 0 means the default of 4.
+	TrainActors int
+	// TrainWorkers bounds the trainer's physical rollout concurrency;
+	// 0 falls back to Workers (and then GOMAXPROCS), 1 forces serial
+	// rollouts. The trained policy is byte-identical for any value.
+	TrainWorkers int
+	// CheckpointPath, when set, receives an atomically written, versioned
+	// policy checkpoint after training (and every CheckpointEvery rounds
+	// when positive) — see SavePolicy/LoadPolicy for manual control.
+	CheckpointPath  string
+	CheckpointEvery int
 	// Chaos, when enabled, injects the profile's faults into every
 	// simulation run (flash-flood surges, vehicle breakdowns, sensing
 	// and dispatcher faults — see internal/chaos) and wraps every
@@ -108,6 +125,10 @@ type System struct {
 	trainEpisodes *obs.Counter
 	episodeTimely *obs.Gauge
 	evalDays      *obs.Counter
+	// trainedEpisodes counts the RL episodes the learner has absorbed
+	// (serial and parallel training plus any loaded checkpoint), recorded
+	// in checkpoint headers so warm-started runs stay cumulative.
+	trainedEpisodes uint64
 }
 
 // NewSystem trains the SVM on the training episode and wires up the RL
@@ -364,10 +385,116 @@ func (s *System) TrainRL(episodes int) ([]float64, error) {
 		timely := float64(res.TotalTimelyServed())
 		s.trainEpisodes.Inc()
 		s.episodeTimely.Set(timely)
+		s.trainedEpisodes++
 		returns = append(returns, timely)
 	}
 	return returns, nil
 }
+
+// trainActors returns the logical actor count (>= 1, default 4). It must
+// not depend on the machine: the actor count fixes seeds and merge
+// order, so a hardware-derived default would make runs irreproducible
+// across hosts.
+func (s *System) trainActors() int {
+	if s.Config.TrainActors > 0 {
+		return s.Config.TrainActors
+	}
+	return 4
+}
+
+// trainWorkers returns the trainer's physical concurrency bound:
+// TrainWorkers, falling back to Workers (and, inside the trainer, to
+// GOMAXPROCS when both are 0).
+func (s *System) trainWorkers() int {
+	if s.Config.TrainWorkers > 0 {
+		return s.Config.TrainWorkers
+	}
+	return s.Config.Workers
+}
+
+// TrainRLParallel trains the MobiRescue dispatcher with the
+// internal/train actor–learner pipeline: TrainActors logical actors
+// replay the training episode's peak day against frozen policy snapshots
+// (at most TrainWorkers simulations at once) while the central DQN
+// absorbs their trajectories in fixed actor-index order. The returned
+// per-episode rewards (timely served requests, ordered by round then
+// actor) and the learner's final state are byte-identical for any
+// TrainWorkers value; see internal/train for the determinism contract.
+//
+// episodes <= 0 trains for Config.TrainEpisodes. With CheckpointPath set
+// the learner state is checkpointed atomically after training (and every
+// CheckpointEvery rounds).
+func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
+	if episodes <= 0 {
+		episodes = s.Config.TrainEpisodes
+	}
+	ctx, trainSpan := obs.StartSpan(s.ctx(), "rl.train_parallel")
+	defer trainSpan.End()
+	day := s.Scenario.Train.PeakRequestDay()
+	rollout := func(ctx context.Context, round, actor int, policy *nn.Network, epsilon float64, seed int64) ([]rl.Transition, float64, error) {
+		ap, err := rl.NewActor(policy, epsilon, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		disp := s.MR.ActorView(ap)
+		epCtx, epSpan := obs.StartSpan(ctx, "rl.actor_episode")
+		res, err := s.runDay(epCtx, s.Scenario.Train, day, disp)
+		epSpan.End()
+		if err != nil {
+			return nil, 0, err
+		}
+		disp.EndEpisode()
+		return ap.Trajectory(), float64(res.TotalTimelyServed()), nil
+	}
+	trainer, err := train.New(s.MR.Agent(), rollout, s.trainedEpisodes, train.Config{
+		Actors:          s.trainActors(),
+		Episodes:        episodes,
+		Workers:         s.trainWorkers(),
+		Seed:            s.Config.Seed,
+		CheckpointPath:  s.Config.CheckpointPath,
+		CheckpointEvery: s.Config.CheckpointEvery,
+		Metrics:         s.Config.Metrics,
+		Logger:          s.Config.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := trainer.Run(ctx)
+	s.trainedEpisodes = trainer.Episodes()
+	for _, r := range stats.Rewards {
+		s.trainEpisodes.Inc()
+		s.episodeTimely.Set(r)
+	}
+	if runErr != nil {
+		return stats.Rewards, fmt.Errorf("core: parallel training: %w", runErr)
+	}
+	return stats.Rewards, nil
+}
+
+// SavePolicy writes the learner's full training state (networks,
+// optimizer, counters, RNG cursor) to path as a versioned, checksummed,
+// atomically installed checkpoint. The header records how many episodes
+// the policy has been trained for.
+func (s *System) SavePolicy(path string) error {
+	return train.SaveCheckpointFile(path, s.MR.Agent(), s.trainedEpisodes)
+}
+
+// LoadPolicy warm-starts the dispatcher from a checkpoint written by
+// SavePolicy (or by the trainer), returning the episode count recorded
+// in its header. Evaluation can then run the restored policy directly,
+// and further training resumes exactly where the checkpoint left off.
+func (s *System) LoadPolicy(path string) (uint64, error) {
+	episodes, err := train.LoadCheckpointFile(path, s.MR.Agent())
+	if err != nil {
+		return 0, err
+	}
+	s.trainedEpisodes = episodes
+	return episodes, nil
+}
+
+// TrainedEpisodes returns how many RL episodes the learner has absorbed
+// (including any loaded checkpoint's recorded count).
+func (s *System) TrainedEpisodes() uint64 { return s.trainedEpisodes }
 
 // Comparison holds the three methods' results on the evaluation day.
 type Comparison struct {

@@ -93,9 +93,13 @@ type MobiRescue struct {
 	cfg        MRConfig
 	predict    PredictFn
 	numRegions int
-	agent      *rl.DQN
-	training   bool
-	last       map[sim.VehicleID]*decision
+	// agent is the central learner; nil on actor views (see ActorView).
+	agent *rl.DQN
+	// policy is what Decide actually drives: the agent itself on the
+	// primary dispatcher, a trajectory-recording rl.Actor on views.
+	policy   rl.Policy
+	training bool
+	last     map[sim.VehicleID]*decision
 	// assigned tracks each team's outstanding target segment so the
 	// coverage pass knows which request segments already have a team
 	// inbound.
@@ -128,9 +132,33 @@ func NewMobiRescue(numRegions int, predict PredictFn, cfg MRConfig) (*MobiRescue
 		predict:    predict,
 		numRegions: numRegions,
 		agent:      agent,
+		policy:     agent,
 		last:       make(map[sim.VehicleID]*decision),
 		assigned:   make(map[sim.VehicleID]roadnet.SegmentID),
 	}, nil
+}
+
+// ActorView returns a rollout clone of the dispatcher that decides with p
+// instead of the central learner: same reward shaping, coverage pass, and
+// prediction pipeline, but its own per-episode decision state and no
+// learning. Views are what the parallel trainer (internal/train) hands to
+// concurrent episode simulations — the shared prediction provider is
+// concurrency-safe and the policy snapshot is only read, so any number of
+// views can replay days at once while the learner stays untouched.
+//
+// The view is always in training mode (transitions flow to p.Observe);
+// learner-only methods (Agent, SavePolicy, LoadPolicy, EnableMetrics)
+// must not be called on it.
+func (m *MobiRescue) ActorView(p rl.Policy) *MobiRescue {
+	return &MobiRescue{
+		cfg:        m.cfg,
+		predict:    m.predict,
+		numRegions: m.numRegions,
+		policy:     p,
+		training:   true,
+		last:       make(map[sim.VehicleID]*decision),
+		assigned:   make(map[sim.VehicleID]roadnet.SegmentID),
+	}
 }
 
 // Name implements sim.Dispatcher.
@@ -319,7 +347,7 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 			if prev.action != m.depotAction() {
 				reward -= m.cfg.Gamma
 			}
-			m.agent.Observe(rl.Transition{
+			m.policy.Observe(rl.Transition{
 				State:     prev.state,
 				Action:    prev.action,
 				Reward:    reward,
@@ -330,9 +358,9 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 
 		var action int
 		if m.training {
-			action = m.agent.SelectAction(state, mask)
+			action = m.policy.SelectAction(state, mask)
 		} else {
-			action = m.agent.Greedy(state, mask)
+			action = m.policy.Greedy(state, mask)
 		}
 		if action < 0 {
 			delete(m.last, v.ID)
@@ -346,7 +374,7 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 		if action == m.depotAction() && len(snap.ActiveRequests) > working {
 			regionMask := append([]bool(nil), mask...)
 			regionMask[m.depotAction()] = false
-			if a := m.agent.Greedy(state, regionMask); a >= 0 {
+			if a := m.policy.Greedy(state, regionMask); a >= 0 {
 				action = a
 				m.met.guardOverrides.Inc()
 			}
@@ -570,7 +598,7 @@ func (m *MobiRescue) EndEpisode() {
 			if prev.action != m.depotAction() {
 				reward -= m.cfg.Gamma
 			}
-			m.agent.Observe(rl.Transition{
+			m.policy.Observe(rl.Transition{
 				State:     prev.state,
 				Action:    prev.action,
 				Reward:    reward,

@@ -1,0 +1,251 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+
+	"mobirescue/internal/rl"
+	"mobirescue/internal/roadnet"
+)
+
+// scriptedPolicy is an rl.Policy whose actions are a fixed script; it
+// records every Observe so tests can assert exactly what reward the
+// dispatcher fed the learner.
+type scriptedPolicy struct {
+	script      []int // consumed by SelectAction and Greedy in call order
+	def         int   // returned when the script runs out
+	observed    []rl.Transition
+	selectCalls int
+	greedyCalls int
+}
+
+func (p *scriptedPolicy) next() int {
+	if len(p.script) == 0 {
+		return p.def
+	}
+	a := p.script[0]
+	p.script = p.script[1:]
+	return a
+}
+
+func (p *scriptedPolicy) SelectAction(state []float64, mask []bool) int {
+	p.selectCalls++
+	return p.next()
+}
+
+func (p *scriptedPolicy) Greedy(state []float64, mask []bool) int {
+	p.greedyCalls++
+	return p.next()
+}
+
+func (p *scriptedPolicy) Observe(t rl.Transition) { p.observed = append(p.observed, t) }
+
+// scriptedMR builds a MobiRescue view driven by the scripted policy
+// (training mode, no learner), over the shared 4x4 test city.
+func scriptedMR(t *testing.T, p *scriptedPolicy) *MobiRescue {
+	t.Helper()
+	base, err := NewMobiRescue(7, constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base.ActorView(p)
+}
+
+// TestDecideRewardShaping is the reward-shaping table (ISSUE satellite
+// 4): each case scripts the policy's decisions over two dispatch rounds
+// and asserts the exact reward the dispatcher attributes to the first
+// round's action when the second round closes the transition —
+// r = α·Δserved − β·plannedTime/3600 − γ·[action ≠ depot] (Equation 5's
+// per-decision form).
+func TestDecideRewardShaping(t *testing.T) {
+	cfg := DefaultMRConfig()
+	depot := 7 // action index meaning "return to depot" with 7 regions
+
+	cases := []struct {
+		name        string
+		firstAction int
+		servedDelta int
+		// wantExact, when non-nil, pins the reward exactly. Otherwise
+		// wantGamma asserts the γ term and a strictly negative β term.
+		wantExact *float64
+		wantGamma bool
+	}{
+		{
+			// All teams at the depot and nobody served: the closing
+			// reward is exactly zero — depot decisions have no planned
+			// driving time and carry no deployment penalty.
+			name:        "depot, nothing served",
+			firstAction: depot,
+			servedDelta: 0,
+			wantExact:   f64(0),
+		},
+		{
+			// Depot action but the team served two requests on the way
+			// (coverage pass): pure α credit.
+			name:        "depot, two served",
+			firstAction: depot,
+			servedDelta: 2,
+			wantExact:   f64(2 * cfg.Alpha),
+		},
+		{
+			// Deploying to a region costs γ plus β times the planned
+			// driving hours.
+			name:        "region deployment, nothing served",
+			firstAction: 0, // region 1
+			servedDelta: 0,
+			wantGamma:   true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			city := testCity(t)
+			p := &scriptedPolicy{script: []int{tc.firstAction}, def: depot}
+			m := scriptedMR(t, p)
+
+			// Round 1: a single idle vehicle, no requests (so the
+			// deployment guard stays out of the way).
+			snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot}, nil)
+			if _, d := m.Decide(snap); d < 0 {
+				t.Fatal("negative compute delay")
+			}
+			if len(p.observed) != 0 {
+				t.Fatalf("round 1 observed %d transitions, want 0", len(p.observed))
+			}
+
+			// Round 2: same vehicle, idle again, with tc.servedDelta more
+			// rescues on its counter.
+			snap2 := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot}, nil)
+			snap2.Vehicles[0].Served = tc.servedDelta
+			m.Decide(snap2)
+			if len(p.observed) != 1 {
+				t.Fatalf("round 2 observed %d transitions, want 1", len(p.observed))
+			}
+			tr := p.observed[0]
+			if tr.Action != tc.firstAction {
+				t.Errorf("closed action = %d, want %d", tr.Action, tc.firstAction)
+			}
+			if tr.Done {
+				t.Error("mid-episode transition marked Done")
+			}
+			if tc.wantExact != nil {
+				if !almost(tr.Reward, *tc.wantExact) {
+					t.Errorf("reward = %v, want %v", tr.Reward, *tc.wantExact)
+				}
+				return
+			}
+			if tc.wantGamma {
+				// reward = −β·planned/3600 − γ with planned ≥ 0, so it
+				// must sit in [−(β·bound+γ), −γ]. A 4x4 free-flow grid is
+				// crossed well inside an hour.
+				if tr.Reward > -cfg.Gamma+1e-12 {
+					t.Errorf("reward = %v, want ≤ −γ = %v", tr.Reward, -cfg.Gamma)
+				}
+				if tr.Reward < -(cfg.Beta + cfg.Gamma) {
+					t.Errorf("reward = %v implies > 1h planned driving on a 4x4 grid", tr.Reward)
+				}
+			}
+		})
+	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestEndEpisodeClosesAllTransitions checks the episode-accounting
+// contract: EndEpisode closes every open decision with a terminal
+// transition in vehicle-ID order, then resets, so a second EndEpisode
+// observes nothing.
+func TestEndEpisodeClosesAllTransitions(t *testing.T) {
+	cfg := DefaultMRConfig()
+	city := testCity(t)
+	lms := []roadnet.LandmarkID{city.Depot, city.Depot + 1}
+	// Vehicle 0 deploys to region 1 (action 0), vehicle 1 rests (depot).
+	p := &scriptedPolicy{script: []int{0, 7}, def: 7}
+	m := scriptedMR(t, p)
+	m.Decide(testSnapshot(t, city, lms, nil))
+	p.observed = nil
+
+	m.EndEpisode()
+	if len(p.observed) != 2 {
+		t.Fatalf("EndEpisode observed %d transitions, want 2", len(p.observed))
+	}
+	// Vehicle-ID order: vehicle 0's region action first, then vehicle
+	// 1's depot action.
+	if p.observed[0].Action != 0 || p.observed[1].Action != 7 {
+		t.Errorf("closing actions = [%d %d], want [0 7]",
+			p.observed[0].Action, p.observed[1].Action)
+	}
+	for i, tr := range p.observed {
+		if !tr.Done {
+			t.Errorf("closing transition %d not terminal", i)
+		}
+	}
+	// The deployed vehicle pays β·planned/3600 + γ; the resting one
+	// closes at exactly zero.
+	if p.observed[0].Reward > -cfg.Gamma+1e-12 {
+		t.Errorf("deployed closing reward = %v, want ≤ −γ", p.observed[0].Reward)
+	}
+	if !almost(p.observed[1].Reward, 0) {
+		t.Errorf("depot closing reward = %v, want 0", p.observed[1].Reward)
+	}
+
+	p.observed = nil
+	m.EndEpisode()
+	if len(p.observed) != 0 {
+		t.Errorf("second EndEpisode observed %d transitions, want 0", len(p.observed))
+	}
+}
+
+// TestDecideEvalModeDoesNotLearn: with training off, Decide must route
+// every choice through Greedy and never feed the policy a transition.
+func TestDecideEvalModeDoesNotLearn(t *testing.T) {
+	city := testCity(t)
+	p := &scriptedPolicy{def: 7}
+	m := scriptedMR(t, p)
+	m.SetTraining(false)
+
+	snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot}, nil)
+	m.Decide(snap)
+	m.Decide(snap)
+	if p.selectCalls != 0 {
+		t.Errorf("eval mode made %d SelectAction calls, want 0", p.selectCalls)
+	}
+	if p.greedyCalls == 0 {
+		t.Error("eval mode never consulted Greedy")
+	}
+	if len(p.observed) != 0 {
+		t.Errorf("eval mode observed %d transitions, want 0", len(p.observed))
+	}
+	m.EndEpisode()
+	if len(p.observed) != 0 {
+		t.Error("eval-mode EndEpisode fed the learner")
+	}
+}
+
+// TestDeploymentGuardOverridesDepot: when waiting requests outnumber
+// working teams, a scripted depot choice is overridden to the policy's
+// best region — the "window with only stale requests" safety net.
+func TestDeploymentGuardOverridesDepot(t *testing.T) {
+	city := testCity(t)
+	segs := city.Graph.SegmentIDsByRegion()
+	// Policy insists on the depot; its region-masked Greedy prefers
+	// region 3 (action 2).
+	p := &scriptedPolicy{script: []int{7, 2}, def: 2}
+	m := scriptedMR(t, p)
+
+	snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot},
+		[]roadnet.SegmentID{segs[3][0], segs[3][1]})
+	orders, _ := m.Decide(snap)
+	if len(orders) == 0 {
+		t.Fatal("no orders issued")
+	}
+	for _, o := range orders {
+		if o.Vehicle == 0 && o.ToDepot {
+			t.Error("guard let the only team rest while two requests waited")
+		}
+	}
+	if p.greedyCalls == 0 {
+		t.Error("guard never consulted the policy for a region")
+	}
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func mustEnvelope(t *testing.T, h EnvelopeHeader, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, h, payload); err != nil {
+		t.Fatalf("WriteEnvelope: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("learner state goes here")
+	raw := mustEnvelope(t, EnvelopeHeader{Version: 3, Episodes: 42}, payload)
+	h, got, err := ReadEnvelope(bytes.NewReader(raw), 3)
+	if err != nil {
+		t.Fatalf("ReadEnvelope: %v", err)
+	}
+	if h.Version != 3 || h.Episodes != 42 {
+		t.Errorf("header = %+v, want {3 42}", h)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	// Trailing data after the payload is ignored — the envelope is
+	// self-delimiting, so a reader can sit inside a larger stream.
+	h, got, err = ReadEnvelope(bytes.NewReader(append(raw, "trailing"...)), 3)
+	if err != nil || h.Episodes != 42 || !bytes.Equal(got, payload) {
+		t.Errorf("ReadEnvelope with trailing data: %v %v %q", h, err, got)
+	}
+}
+
+func TestEnvelopeEmptyPayload(t *testing.T) {
+	raw := mustEnvelope(t, EnvelopeHeader{Version: 1}, nil)
+	h, payload, err := ReadEnvelope(bytes.NewReader(raw), 1)
+	if err != nil {
+		t.Fatalf("ReadEnvelope: %v", err)
+	}
+	if h.Version != 1 || len(payload) != 0 {
+		t.Errorf("got %+v payload %d bytes", h, len(payload))
+	}
+}
+
+func TestWriteEnvelopeRejectsOversizedPayload(t *testing.T) {
+	payload := make([]byte, MaxEnvelopePayload+1)
+	err := WriteEnvelope(io.Discard, EnvelopeHeader{Version: 1}, payload)
+	if !errors.Is(err, ErrEnvelopeTooLarge) {
+		t.Errorf("err = %v, want ErrEnvelopeTooLarge", err)
+	}
+}
+
+// TestReadEnvelopeCorruption is the corruption table for the checkpoint
+// envelope: every damaged variant of a valid file must be rejected with
+// the right typed error, and none may panic.
+func TestReadEnvelopeCorruption(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	valid := mustEnvelope(t, EnvelopeHeader{Version: 7, Episodes: 9}, payload)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty stream", func(b []byte) []byte { return nil }, ErrEnvelopeTruncated},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrEnvelopeTruncated},
+		{"header only", func(b []byte) []byte { return b[:28] }, ErrEnvelopeTruncated},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, ErrEnvelopeTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrEnvelopeMagic},
+		{"wrong version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 99)
+			return b
+		}, ErrEnvelopeVersion},
+		{"oversized declared length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], MaxEnvelopePayload+1)
+			return b
+		}, ErrEnvelopeTooLarge},
+		{"declared length beyond stream", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], uint64(len(b))) // longer than remaining
+			return b
+		}, ErrEnvelopeTruncated},
+		{"payload bit flip", func(b []byte) []byte { b[30] ^= 0x01; return b }, ErrEnvelopeChecksum},
+		{"checksum bit flip", func(b []byte) []byte { b[24] ^= 0x01; return b }, ErrEnvelopeChecksum},
+		{"episode field flip still reads", func(b []byte) []byte {
+			// Header fields outside magic/version/length/CRC are data, not
+			// integrity-checked; flipping Episodes yields a different but
+			// valid envelope. This documents the boundary of the guarantee.
+			binary.LittleEndian.PutUint64(b[8:16], 12345)
+			return b
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.mutate(append([]byte(nil), valid...))
+			h, got, err := ReadEnvelope(bytes.NewReader(raw), 7)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("err = %v, want nil", err)
+				}
+				if h.Episodes != 12345 || !bytes.Equal(got, payload) {
+					t.Errorf("got %+v %q", h, got)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			if got != nil {
+				t.Error("payload returned despite error")
+			}
+		})
+	}
+}
+
+func TestVersionErrorDetails(t *testing.T) {
+	raw := mustEnvelope(t, EnvelopeHeader{Version: 2, Episodes: 1}, []byte("x"))
+	_, _, err := ReadEnvelope(bytes.NewReader(raw), 5)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != 2 || ve.Want != 5 {
+		t.Errorf("VersionError = %+v, want Got=2 Want=5", ve)
+	}
+	if !errors.Is(err, ErrEnvelopeVersion) {
+		t.Error("VersionError should match ErrEnvelopeVersion")
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	a := NewAdam(1e-2)
+	params := []float64{1, 2, 3}
+	a.Step(params, []float64{0.1, -0.2, 0.3})
+	a.Step(params, []float64{-0.1, 0.2, -0.3})
+
+	m, v, steps := a.State()
+	if steps != 2 || len(m) != 3 || len(v) != 3 {
+		t.Fatalf("State = m%d v%d t%d, want 3/3/2", len(m), len(v), steps)
+	}
+	// The returned slices are copies: mutating them must not corrupt the
+	// optimizer.
+	m[0] = 999
+	m2, _, _ := a.State()
+	if m2[0] == 999 {
+		t.Error("State returned aliased internal slice")
+	}
+
+	b := NewAdam(1e-2)
+	if err := b.SetState(m2, v, steps); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	pa := append([]float64(nil), params...)
+	pb := append([]float64(nil), params...)
+	g := []float64{0.05, 0.05, 0.05}
+	a.Step(pa, append([]float64(nil), g...))
+	b.Step(pb, append([]float64(nil), g...))
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("restored Adam diverged at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestAdamSetStateValidation(t *testing.T) {
+	a := NewAdam(1e-3)
+	if err := a.SetState([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched moment lengths should error")
+	}
+	if err := a.SetState([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative step count should error")
+	}
+	if err := a.SetState(nil, nil, 0); err != nil {
+		t.Errorf("zero state should be accepted: %v", err)
+	}
+}
+
+func TestAdamStateBeforeFirstStep(t *testing.T) {
+	m, v, steps := NewAdam(1e-3).State()
+	if m != nil || v != nil || steps != 0 {
+		t.Errorf("fresh Adam state = %v %v %d, want nil nil 0", m, v, steps)
+	}
+}

@@ -77,6 +77,36 @@ func (a *Adam) Step(params, grad []float64) {
 	}
 }
 
+// State returns copies of the optimizer's moment vectors and step count,
+// for checkpointing. Fresh (never-stepped) optimizers return nil slices.
+func (a *Adam) State() (m, v []float64, t int) {
+	if a.m != nil {
+		m = append([]float64(nil), a.m...)
+		v = append([]float64(nil), a.v...)
+	}
+	return m, v, a.t
+}
+
+// SetState restores moment vectors and step count written by State. The
+// two moment slices must have equal length (both may be nil to reset a
+// fresh optimizer); SetState copies them, so the caller keeps ownership.
+func (a *Adam) SetState(m, v []float64, t int) error {
+	if len(m) != len(v) {
+		return fmt.Errorf("nn: Adam state length mismatch: %d m, %d v", len(m), len(v))
+	}
+	if t < 0 {
+		return fmt.Errorf("nn: Adam step count %d negative", t)
+	}
+	if len(m) == 0 {
+		a.m, a.v, a.t = nil, nil, t
+		return nil
+	}
+	a.m = append(a.m[:0], m...)
+	a.v = append(a.v[:0], v...)
+	a.t = t
+	return nil
+}
+
 // Zero clears a gradient buffer in place.
 func Zero(grad []float64) {
 	for i := range grad {

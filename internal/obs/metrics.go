@@ -198,6 +198,13 @@ var DefSecondsBuckets = []float64{
 	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
+// DefCountBuckets is a powers-of-two scale for discrete size
+// distributions (queue depths, transitions per training episode, batch
+// sizes) — anything counted rather than timed.
+var DefCountBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+}
+
 // metricKind discriminates registry entries.
 type metricKind uint8
 

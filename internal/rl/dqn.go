@@ -3,7 +3,6 @@ package rl
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"mobirescue/internal/nn"
 	"mobirescue/internal/obs"
@@ -79,13 +78,17 @@ func DefaultDQNConfig() DQNConfig {
 
 // DQN is a deep Q-learning agent with a target network and uniform
 // experience replay. It is not safe for concurrent use.
+//
+// DQN implements Policy. Its exploration/replay randomness comes from an
+// exportable-state RNG so SaveCheckpoint/LoadCheckpoint can resume a
+// training run byte-identically.
 type DQN struct {
 	cfg     DQNConfig
 	online  *nn.Network
 	target  *nn.Network
 	opt     *nn.Adam
 	replay  *Replay
-	rng     *rand.Rand
+	rng     *RNG
 	grad    []float64
 	batch   []Transition
 	steps   int // environment steps observed
@@ -93,6 +96,8 @@ type DQN struct {
 	nAction int
 	met     dqnMetrics
 }
+
+var _ Policy = (*DQN)(nil)
 
 // NewDQN builds an agent for the given state/action sizes.
 func NewDQN(stateSize, numActions int, cfg DQNConfig) (*DQN, error) {
@@ -117,7 +122,7 @@ func NewDQN(stateSize, numActions int, cfg DQNConfig) (*DQN, error) {
 		target:  online.Clone(),
 		opt:     nn.NewAdam(cfg.LR),
 		replay:  NewReplay(cfg.BufferSize),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     NewRNG(cfg.Seed),
 		grad:    make([]float64, online.NumParams()),
 		nAction: numActions,
 	}, nil
@@ -254,6 +259,10 @@ func (d *DQN) TrainEpisodes(env Environment, episodes, maxSteps int) []float64 {
 	}
 	return returns
 }
+
+// SnapshotPolicy returns a frozen deep copy of the online network, the
+// policy snapshot parallel actors roll out against (see internal/train).
+func (d *DQN) SnapshotPolicy() *nn.Network { return d.online.Clone() }
 
 // Save writes the online network (the policy) to w.
 func (d *DQN) Save(w io.Writer) error { return d.online.Save(w) }

@@ -8,7 +8,6 @@ package rl
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // Environment is an episodic Markov decision process with a fixed
@@ -23,6 +22,29 @@ type Environment interface {
 	StateSize() int
 	// NumActions is the size of the discrete action space.
 	NumActions() int
+}
+
+// Policy is the decision-and-feedback surface a dispatcher drives: pick
+// actions for states and observe the resulting transitions. The central
+// learner (*DQN) implements it by learning online; *Actor implements it
+// by deciding against a frozen policy snapshot and recording the
+// trajectory for a central learner to absorb later (the actor–learner
+// split in internal/train).
+type Policy interface {
+	// SelectAction picks an action for state under the optional validity
+	// mask, possibly exploring. It returns -1 when no action is valid.
+	SelectAction(state []float64, mask []bool) int
+	// Greedy picks the best action without exploration (-1 when none is
+	// valid).
+	Greedy(state []float64, mask []bool) int
+	// Observe records one transition.
+	Observe(t Transition)
+}
+
+// IntSource yields bounded uniform integers; *math/rand.Rand and *RNG
+// both satisfy it.
+type IntSource interface {
+	Intn(n int) int
 }
 
 // ActionMasker is an optional Environment extension restricting which
@@ -84,7 +106,7 @@ func (r *Replay) Add(t Transition) {
 // Sample draws n transitions uniformly with replacement into dst (reused
 // when cap allows) and returns it. It returns nil when the buffer is
 // empty.
-func (r *Replay) Sample(rng *rand.Rand, n int, dst []Transition) []Transition {
+func (r *Replay) Sample(rng IntSource, n int, dst []Transition) []Transition {
 	sz := r.Len()
 	if sz == 0 || n <= 0 {
 		return nil
@@ -124,7 +146,7 @@ func maxMasked(vals []float64, mask []bool) float64 {
 }
 
 // randValid picks a uniformly random valid action, or -1 when none is.
-func randValid(rng *rand.Rand, n int, mask []bool) int {
+func randValid(rng IntSource, n int, mask []bool) int {
 	if mask == nil {
 		return rng.Intn(n)
 	}

@@ -1,0 +1,77 @@
+package rl
+
+import "fmt"
+
+// RNG is a splitmix64 pseudo-random generator with a single uint64 of
+// exportable state, so a learner checkpoint can carry its exploration
+// cursor and resume byte-identically. math/rand's generator state is
+// private; this one is tiny, fast, and serializable.
+//
+// RNG is not safe for concurrent use; give each actor its own stream
+// (see DeriveSeed).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed. Equal
+// seeds produce equal streams.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{state: uint64(seed)}
+	// Burn one mix so small adjacent seeds don't start near-identical.
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n is not
+// positive, matching math/rand.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rl: Intn bound %d must be positive", n))
+	}
+	// Rejection sampling removes modulo bias.
+	limit := (^uint64(0) / uint64(n)) * uint64(n)
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// State returns the generator's cursor for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a cursor written by State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// DeriveSeed mixes a base seed with stream coordinates (e.g. training
+// round and actor index) into an independent, reproducible child seed.
+// Equal inputs always yield equal outputs, on every platform.
+func DeriveSeed(base int64, coords ...int) int64 {
+	h := uint64(base) ^ 0x8A5CD789635D2DFF
+	mix := func(v uint64) {
+		h ^= v
+		h += 0x9E3779B97F4A7C15
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	for _, c := range coords {
+		mix(uint64(int64(c)))
+	}
+	return int64(h)
+}

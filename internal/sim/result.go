@@ -143,6 +143,36 @@ func (r *Result) ServingPerHour() []float64 {
 	return sums
 }
 
+// RewardPerHour evaluates the paper's Equation 5 reward
+// r = α·N^q − β·T^d − γ·N^m over each hourly window of the run:
+// N^q is the number of timely served requests picked up in the window,
+// T^d the total driving delay (in hours, matching the dispatcher's
+// per-hour β) of requests picked up in the window, and N^m the mean
+// number of serving teams across the window's dispatch rounds. The
+// golden-replay regression suite pins this series — it summarizes, in
+// one vector, what the simulator, the dispatcher, and the reward shaping
+// jointly did.
+func (r *Result) RewardPerHour(alpha, beta, gamma float64) []float64 {
+	out := make([]float64, r.hours())
+	for _, req := range r.Requests {
+		if !req.Served() {
+			continue
+		}
+		h := r.hourOf(req.PickedUpAt)
+		if h < 0 || h >= len(out) {
+			continue
+		}
+		if req.Timeliness() <= r.Config.TimelyThreshold {
+			out[h] += alpha
+		}
+		out[h] -= beta * req.DrivingDelay.Hours()
+	}
+	for h, serving := range r.ServingPerHour() {
+		out[h] -= gamma * serving
+	}
+	return out
+}
+
 // MeanComputeDelay returns the dispatcher's average modeled computation
 // delay across rounds.
 func (r *Result) MeanComputeDelay() time.Duration {

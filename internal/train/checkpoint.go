@@ -1,0 +1,64 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointLoader restores a learner state written by
+// Learner.SaveCheckpoint, returning the episode count recorded in the
+// checkpoint header. *rl.DQN satisfies it.
+type CheckpointLoader interface {
+	LoadCheckpoint(r io.Reader) (episodes uint64, err error)
+}
+
+// SaveCheckpointFile writes the learner's checkpoint to path atomically:
+// the bytes go to a temporary file in the same directory, are fsynced,
+// and only then renamed over path. A crash mid-write can therefore never
+// leave a truncated checkpoint where a good one used to be — combined
+// with the checksummed envelope (internal/nn), readers either get a
+// complete, verified state or a typed error.
+func SaveCheckpointFile(path string, l Learner, episodes uint64) error {
+	if path == "" {
+		return fmt.Errorf("train: checkpoint path required")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("train: creating checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if err := l.SaveCheckpoint(tmp, episodes); err != nil {
+		tmp.Close()
+		return fmt.Errorf("train: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("train: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("train: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("train: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpointFile restores a learner from a checkpoint written by
+// SaveCheckpointFile, returning the episode count from its header.
+func LoadCheckpointFile(path string, l CheckpointLoader) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("train: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	episodes, err := l.LoadCheckpoint(f)
+	if err != nil {
+		return 0, fmt.Errorf("train: loading checkpoint %s: %w", path, err)
+	}
+	return episodes, nil
+}
