@@ -24,18 +24,24 @@ race:
 
 # Decide-latency micro-benchmarks, the routing fast-path benchmarks
 # (BenchmarkTree must report 0 allocs/op; BenchmarkTreeCached must be
-# >=10x BenchmarkTreeCold), and the BENCH_routing.json artifact (ns/op,
-# allocs/op, Decide cache speedup, comparison wall-clock serial vs
-# parallel).
+# >=10x BenchmarkTreeCold), the prediction fast-path benchmarks
+# (svm.DecisionInto / nn.ForwardInto must report 0 allocs/op), and the
+# BENCH_routing.json / BENCH_predict.json artifacts.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDecide -benchtime 100x ./internal/dispatch
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/roadnet
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/svm ./internal/nn ./internal/weather
 	$(GO) run ./cmd/benchroute -out BENCH_routing.json
+	$(GO) run ./cmd/benchpredict -out BENCH_predict.json
 
-# One-iteration smoke pass over every roadnet/dispatch benchmark — CI
-# runs this so benchmark code cannot rot between commits.
+# One-iteration smoke pass over every benchmark plus the benchpredict
+# contract run (identity witnesses and the 0 allocs/op assertions for
+# svm.DecisionInto / nn.ForwardInto, no trustworthy timings, artifact
+# untouched) — CI runs this so benchmark code cannot rot between
+# commits.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/roadnet ./internal/dispatch
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/roadnet ./internal/dispatch ./internal/svm ./internal/nn ./internal/weather
+	$(GO) run ./cmd/benchpredict -smoke
 
 # Short fuzz pass over the city loader and the checkpoint loader (the
 # corpus seeds always run as part of `make test`; this explores further).

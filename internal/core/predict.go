@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobirescue/internal/geo"
@@ -112,10 +115,35 @@ func TrainSVMObserved(city *roadnet.City, ep *Episode, elev func(geo.Point) floa
 	return model, nil
 }
 
+// Exported prediction-stage metric names (see README "Observability").
+const (
+	MetricPredictWindows    = "mobirescue_predict_windows_total"
+	MetricPredictCacheHits  = "mobirescue_predict_cache_hits_total"
+	MetricPredictCacheMiss  = "mobirescue_predict_cache_misses_total"
+	MetricPredictCacheEvict = "mobirescue_predict_cache_evictions_total"
+	MetricPredictPersons    = "mobirescue_predict_persons_total"
+	MetricPredictPositives  = "mobirescue_predict_positives_total"
+	MetricPredictSeconds    = "mobirescue_predict_window_seconds"
+)
+
 // personTrack is one person's cleaned, time-ordered GPS samples.
 type personTrack struct {
+	id    int
 	times []time.Time
 	pos   []geo.Point
+	// seg memoizes the nearest-segment lookup for the track's last
+	// evaluated position: people are stationary for most 5-minute
+	// windows, so the spatial-index ring search is skipped whenever the
+	// position is unchanged. The pointer is swapped atomically because
+	// concurrent Predict calls for different windows may touch the same
+	// track; the memo is a pure function of the position, so racing
+	// writers store equal values.
+	seg atomic.Pointer[segMemo]
+}
+
+type segMemo struct {
+	pos geo.Point
+	seg roadnet.SegmentID
 }
 
 // posAt returns the person's last observed position at or before t (the
@@ -128,21 +156,72 @@ func (tr *personTrack) posAt(t time.Time) geo.Point {
 	return tr.pos[idx]
 }
 
+// nearestSegment resolves the track's current position to a road
+// segment through the memo.
+func (tr *personTrack) nearestSegment(index *roadnet.SpatialIndex, pos geo.Point) roadnet.SegmentID {
+	if m := tr.seg.Load(); m != nil && m.pos == pos {
+		return m.seg
+	}
+	seg := index.NearestSegment(pos)
+	tr.seg.Store(&segMemo{pos: pos, seg: seg})
+	return seg
+}
+
+// predictEntry is one singleflight window-cache slot: the first caller
+// for a key computes val and closes ready; every other caller blocks on
+// ready instead of duplicating the window computation.
+type predictEntry struct {
+	ready chan struct{}
+	val   map[roadnet.SegmentID]float64
+}
+
+// predictMetrics holds the provider's optional telemetry handles; the
+// zero value (all nil) is a free no-op.
+type predictMetrics struct {
+	windows   *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	persons   *obs.Counter
+	positives *obs.Counter
+	latency   *obs.Histogram
+}
+
 // PredictProvider implements the paper's stage 2 at query time: given the
 // real-time distribution of people (from their GPS traces) and the
 // current disaster-related factors, it applies the SVM per person and
 // counts predicted rescue requests per road segment (Equation 2).
-// Predictions are cached per query instant; the provider is safe for
-// concurrent use.
+//
+// Queries run the prediction fast path: per-window storm-series factors
+// (weather.FactorIndex), zero-allocation SVM decisions
+// (svm.Model.DecisionInto), memoized nearest-segment lookups for
+// stationary people, and a person loop sharded across SetWorkers
+// goroutines with per-shard accumulators merged in fixed shard order —
+// the predicted distribution is byte-identical for any worker count.
+// Windows are cached behind a singleflight so concurrent callers for
+// the same instant compute once; the cache is bounded (entries older
+// than the episode horizon, and beyond a hard cap, are evicted).
+// The provider is safe for concurrent use.
 type PredictProvider struct {
-	model  *svm.Model
-	storm  weather.Field
-	elev   func(geo.Point) float64
-	tracks map[int]*personTrack
-	index  *roadnet.SpatialIndex
+	model   *svm.Model
+	storm   weather.Field
+	factors *weather.FactorIndex
+	elev    func(geo.Point) float64
+	byID    map[int]*personTrack
+	tracks  []*personTrack // sorted by person ID: the deterministic shard order
+	index   *roadnet.SpatialIndex
+	workers int
+
+	// horizon bounds the cache: keys older than (newest key - horizon)
+	// are evicted. Defaults to the episode observation window plus the
+	// factor lookback.
+	horizon    time.Duration
+	maxEntries int
 
 	mu    sync.Mutex
-	cache map[int64]map[roadnet.SegmentID]float64
+	cache map[int64]*predictEntry
+
+	met predictMetrics
 }
 
 // NewPredictProvider builds the provider over an episode's people traces.
@@ -150,45 +229,212 @@ func NewPredictProvider(city *roadnet.City, ep *Episode, model *svm.Model, elev 
 	if model == nil {
 		return nil, fmt.Errorf("core: SVM model required")
 	}
-	tracks := make(map[int]*personTrack)
+	byID := make(map[int]*personTrack)
 	for _, pt := range ep.Data.Points {
-		tr := tracks[pt.PersonID]
+		tr := byID[pt.PersonID]
 		if tr == nil {
-			tr = &personTrack{}
-			tracks[pt.PersonID] = tr
+			tr = &personTrack{id: pt.PersonID}
+			byID[pt.PersonID] = tr
 		}
 		tr.times = append(tr.times, pt.Time)
 		tr.pos = append(tr.pos, pt.Pos)
 	}
-	if len(tracks) == 0 {
+	if len(byID) == 0 {
 		return nil, fmt.Errorf("core: episode has no GPS points")
 	}
+	tracks := make([]*personTrack, 0, len(byID))
+	for _, tr := range byID {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].id < tracks[j].id })
+	horizon := time.Duration(ep.Data.Config.Days)*24*time.Hour + factorLookback
 	return &PredictProvider{
-		model:  model,
-		storm:  ep.Storm,
-		elev:   elev,
-		tracks: tracks,
-		index:  roadnet.NewSpatialIndex(city.Graph),
-		cache:  make(map[int64]map[roadnet.SegmentID]float64),
+		model:      model,
+		storm:      ep.Storm,
+		factors:    weather.NewFactorIndex(ep.Storm, elev, factorLookback),
+		elev:       elev,
+		byID:       byID,
+		tracks:     tracks,
+		index:      roadnet.NewSpatialIndex(city.Graph),
+		horizon:    horizon,
+		maxEntries: 4096,
+		cache:      make(map[int64]*predictEntry),
 	}, nil
 }
 
+// SetWorkers bounds the per-window person-loop parallelism: 0 means
+// GOMAXPROCS, 1 forces the serial path. The predicted distribution is
+// byte-identical for any value.
+func (p *PredictProvider) SetWorkers(n int) { p.workers = n }
+
+// EnableMetrics registers the prediction-stage telemetry (window count
+// and latency, cache hit/miss/eviction counters, per-person decision
+// counts) with reg. Nil reg is a no-op; telemetry is free when disabled.
+func (p *PredictProvider) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.met = predictMetrics{
+		windows:   reg.Counter(MetricPredictWindows, "Prediction windows computed (cache misses that ran the person loop)."),
+		hits:      reg.Counter(MetricPredictCacheHits, "Prediction window cache hits."),
+		misses:    reg.Counter(MetricPredictCacheMiss, "Prediction window cache misses."),
+		evictions: reg.Counter(MetricPredictCacheEvict, "Prediction windows evicted from the cache."),
+		persons:   reg.Counter(MetricPredictPersons, "Per-person SVM decisions evaluated by Predict."),
+		positives: reg.Counter(MetricPredictPositives, "Per-person decisions predicting a rescue request."),
+		latency: reg.Histogram(MetricPredictSeconds,
+			"Wall-clock seconds per computed prediction window.", obs.DefSecondsBuckets),
+	}
+}
+
+// effectiveWorkers resolves the worker bound (always >= 1).
+func (p *PredictProvider) effectiveWorkers() int {
+	if p.workers > 0 {
+		return p.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Predict returns the predicted number of potential rescue requests per
-// segment at time t — the ñ_e distribution of Equation 2.
+// segment at time t — the ñ_e distribution of Equation 2. Concurrent
+// callers for the same instant share one computation; the returned map
+// must be treated as read-only.
 func (p *PredictProvider) Predict(t time.Time) map[roadnet.SegmentID]float64 {
 	key := t.Unix()
 	p.mu.Lock()
-	if cached, ok := p.cache[key]; ok {
+	if e, ok := p.cache[key]; ok {
 		p.mu.Unlock()
-		return cached
+		p.met.hits.Inc()
+		<-e.ready
+		return e.val
 	}
+	e := &predictEntry{ready: make(chan struct{})}
+	p.cache[key] = e
+	p.evictLocked(key)
 	p.mu.Unlock()
+	p.met.misses.Inc()
 
+	start := time.Now()
+	// Close ready even if computeWindow panics (a panicking worker must
+	// not strand concurrent waiters); the panic still propagates.
+	defer close(e.ready)
+	e.val = p.computeWindow(t)
+	p.met.windows.Inc()
+	p.met.latency.ObserveSince(start)
+	return e.val
+}
+
+// evictLocked drops cache entries older than the horizon behind the
+// newest key, plus the oldest entries over the hard cap. Called with
+// p.mu held, after inserting newKey. Evicted in-flight computations
+// finish normally (their entry simply becomes unreachable).
+func (p *PredictProvider) evictLocked(newKey int64) {
+	newest := newKey
+	for k := range p.cache {
+		if k > newest {
+			newest = k
+		}
+	}
+	floor := newest - int64(p.horizon/time.Second)
+	evicted := 0
+	for k := range p.cache {
+		if k < floor {
+			delete(p.cache, k)
+			evicted++
+		}
+	}
+	for len(p.cache) > p.maxEntries {
+		oldest := int64(math.MaxInt64)
+		for k := range p.cache {
+			if k < oldest {
+				oldest = k
+			}
+		}
+		delete(p.cache, oldest)
+		evicted++
+	}
+	if evicted > 0 {
+		p.met.evictions.Add(int64(evicted))
+	}
+}
+
+// computeWindow runs the per-person prediction loop for one window,
+// sharding the sorted track list across the worker bound. Each shard
+// accumulates into a private map; shards are merged in fixed shard
+// order. Per-person counts are small integers, so the merged sums are
+// exact and the result is byte-identical for any worker count.
+func (p *PredictProvider) computeWindow(t time.Time) map[roadnet.SegmentID]float64 {
+	workers := p.effectiveWorkers()
+	if workers > len(p.tracks) {
+		workers = len(p.tracks)
+	}
+	if workers <= 1 {
+		out := make(map[roadnet.SegmentID]float64)
+		p.predictShard(p.tracks, t, out)
+		return out
+	}
+	shards := make([]map[roadnet.SegmentID]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	per := (len(p.tracks) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(p.tracks) {
+			hi = len(p.tracks)
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[roadnet.SegmentID]float64)
+			p.predictShard(p.tracks[lo:hi], t, m)
+			shards[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make(map[roadnet.SegmentID]float64)
+	for _, m := range shards { // fixed shard order
+		for seg, n := range m {
+			out[seg] += n
+		}
+	}
+	return out
+}
+
+// predictShard evaluates one contiguous slice of tracks into out using
+// shard-private scratch (SVM workspace, factor vector) so the hot loop
+// allocates nothing per person.
+func (p *PredictProvider) predictShard(tracks []*personTrack, t time.Time, out map[roadnet.SegmentID]float64) {
+	ws := svm.NewWorkspace()
+	var vec [3]float64
+	positives := 0
+	for _, tr := range tracks {
+		pos := tr.posAt(t)
+		p.factors.FactorsInto(vec[:], pos, t)
+		if !p.model.PredictInto(ws, vec[:]) {
+			continue
+		}
+		positives++
+		seg := tr.nearestSegment(p.index, pos)
+		if seg == roadnet.NoSegment {
+			continue
+		}
+		out[seg]++
+	}
+	p.met.persons.Add(int64(len(tracks)))
+	p.met.positives.Add(int64(positives))
+}
+
+// PredictReference is the pre-fast-path Predict implementation — an
+// uncached serial loop over the naive trailing-scan factors and the
+// reference SVM kernel sum, with a fresh spatial-index lookup per
+// person. It is retained as the equivalence oracle for the fast path
+// (TestPredictMatchesReference) and as the baseline cmd/benchpredict
+// measures the >=5x single-thread speedup against.
+func (p *PredictProvider) PredictReference(t time.Time) map[roadnet.SegmentID]float64 {
 	out := make(map[roadnet.SegmentID]float64)
 	for _, tr := range p.tracks {
 		pos := tr.posAt(t)
 		factors := weather.WindowFactors(p.storm, p.elev, pos, t, factorLookback)
-		if !p.model.Predict(factors.Vector()) {
+		if p.model.DecisionReference(factors.Vector()) < 0 {
 			continue
 		}
 		seg := p.index.NearestSegment(pos)
@@ -197,21 +443,39 @@ func (p *PredictProvider) Predict(t time.Time) map[roadnet.SegmentID]float64 {
 		}
 		out[seg]++
 	}
-
-	p.mu.Lock()
-	p.cache[key] = out
-	p.mu.Unlock()
 	return out
 }
 
+// ResetCache drops every cached window (benchmarks use this to measure
+// the cold path).
+func (p *PredictProvider) ResetCache() {
+	p.mu.Lock()
+	p.cache = make(map[int64]*predictEntry)
+	p.mu.Unlock()
+}
+
+// CacheLen returns the number of cached windows (including in-flight
+// computations).
+func (p *PredictProvider) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// NumPeople returns how many tracked people the provider predicts over.
+func (p *PredictProvider) NumPeople() int { return len(p.tracks) }
+
 // PredictPerson returns the SVM decision for one person at time t, used
-// by the prediction-quality experiments (Figures 15–16).
+// by the prediction-quality experiments (Figures 15–16). It shares the
+// window fast path (indexed factors, zero-alloc decision) and is
+// byte-identical to the per-person step Predict performs.
 func (p *PredictProvider) PredictPerson(personID int, t time.Time) (bool, geo.Point, bool) {
-	tr, ok := p.tracks[personID]
+	tr, ok := p.byID[personID]
 	if !ok {
 		return false, geo.Point{}, false
 	}
 	pos := tr.posAt(t)
-	factors := weather.WindowFactors(p.storm, p.elev, pos, t, factorLookback)
-	return p.model.Predict(factors.Vector()), pos, true
+	var vec [3]float64
+	p.factors.FactorsInto(vec[:], pos, t)
+	return p.model.Predict(vec[:]), pos, true
 }

@@ -168,6 +168,13 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 	if err != nil {
 		return nil, err
 	}
+	// The prediction fast path shares the system worker bound and the
+	// observability registry (window latency, cache hit/miss/eviction
+	// counters — see README "Prediction fast path").
+	for _, prov := range []*PredictProvider{trainProv, evalProv} {
+		prov.SetWorkers(cfg.Workers)
+		prov.EnableMetrics(cfg.Metrics)
+	}
 	teams := cfg.Teams
 	if teams <= 0 {
 		// The paper's Figure 10 shows teams timely-serving several

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForwardIntoMatchesForward pins bit-identical outputs between the
+// allocating and scratch-buffer forward passes across several shapes.
+func TestForwardIntoMatchesForward(t *testing.T) {
+	shapes := [][]int{
+		{3, 5},
+		{4, 8, 2},
+		{6, 64, 64, 9},
+		{2, 3, 7, 5, 1},
+	}
+	for _, sizes := range shapes {
+		net, err := New(42, sizes, ActReLU, ActLinear)
+		if err != nil {
+			t.Fatalf("New(%v): %v", sizes, err)
+		}
+		scratch := net.NewScratch()
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, sizes[0])
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := net.Forward(x)
+			got := net.ForwardInto(x, scratch)
+			if len(got) != len(want) {
+				t.Fatalf("shape %v: ForwardInto len %d != %d", sizes, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v out[%d]: ForwardInto %v != Forward %v", sizes, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardIntoZeroAlloc is the 0 allocs/op contract for the DQN
+// action-selection hot loop.
+func TestForwardIntoZeroAlloc(t *testing.T) {
+	net, err := New(1, []int{8, 64, 64, 6}, ActReLU, ActLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := net.NewScratch()
+	x := make([]float64, 8)
+	if n := testing.AllocsPerRun(200, func() { net.ForwardInto(x, scratch) }); n != 0 {
+		t.Fatalf("ForwardInto allocates %v/op, want 0", n)
+	}
+}
+
+// TestForwardIntoPanics pins the programmer-error contracts.
+func TestForwardIntoPanics(t *testing.T) {
+	net, err := New(1, []int{4, 8, 2}, ActReLU, ActLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad input", func() { net.ForwardInto(make([]float64, 3), net.NewScratch()) })
+	expectPanic("small scratch", func() { net.ForwardInto(make([]float64, 4), make([]float64, net.ScratchSize()-1)) })
+}
+
+// BenchmarkForwardInto / BenchmarkForward quantify the per-inference
+// allocation win for the DQN-sized network (8x64x64x6).
+func BenchmarkForwardInto(b *testing.B) {
+	net, err := New(1, []int{8, 64, 64, 6}, nn64Hidden, ActLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := net.NewScratch()
+	x := make([]float64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardInto(x, scratch)
+	}
+}
+
+func BenchmarkForwardAlloc(b *testing.B) {
+	net, err := New(1, []int{8, 64, 64, 6}, nn64Hidden, ActLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+const nn64Hidden = ActReLU

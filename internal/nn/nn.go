@@ -146,15 +146,53 @@ func (n *Network) Clone() *Network {
 	return c
 }
 
-// Forward computes the network output for x. It panics on an input-size
-// mismatch, which indicates programmer error.
+// Forward computes the network output for x into a fresh slice. It
+// panics on an input-size mismatch, which indicates programmer error.
+// Hot loops (DQN action selection, actor rollouts) should prefer
+// ForwardInto with a reused scratch buffer, which allocates nothing.
 func (n *Network) Forward(x []float64) []float64 {
+	out := make([]float64, n.OutputSize())
+	copy(out, n.ForwardInto(x, make([]float64, n.ScratchSize())))
+	return out
+}
+
+// ScratchSize returns the scratch length ForwardInto requires: two
+// ping-pong buffers of the widest non-input layer.
+func (n *Network) ScratchSize() int {
+	w := 0
+	for _, ll := range n.layers {
+		if ll.out > w {
+			w = ll.out
+		}
+	}
+	return 2 * w
+}
+
+// NewScratch allocates a scratch buffer sized for ForwardInto.
+func (n *Network) NewScratch() []float64 { return make([]float64, n.ScratchSize()) }
+
+// ForwardInto computes the network output for x using the caller-owned
+// scratch buffer and returns a slice aliasing scratch (valid until the
+// next ForwardInto call with the same buffer). It performs zero heap
+// allocations and computes bit-identical values to Forward. It panics
+// on an input-size mismatch or an undersized scratch (programmer
+// error); scratch must hold at least ScratchSize() elements. Concurrent
+// callers over a shared (read-only) network need one scratch each.
+func (n *Network) ForwardInto(x, scratch []float64) []float64 {
 	if len(x) != n.sizes[0] {
 		panic(fmt.Sprintf("nn: input size %d != %d", len(x), n.sizes[0]))
 	}
-	cur := append([]float64(nil), x...)
+	if len(scratch) < n.ScratchSize() {
+		panic(fmt.Sprintf("nn: scratch size %d < %d", len(scratch), n.ScratchSize()))
+	}
+	half := len(scratch) / 2
+	bufA, bufB := scratch[:half], scratch[half:]
+	cur := x
 	for _, ll := range n.layers {
-		next := make([]float64, ll.out)
+		next := bufA[:ll.out]
+		if &cur[0] == &bufA[0] {
+			next = bufB[:ll.out]
+		}
 		for o := 0; o < ll.out; o++ {
 			sum := n.params[ll.bOff+o]
 			row := ll.wOff + o*ll.in

@@ -21,6 +21,7 @@ type Actor struct {
 	rng     *RNG
 	epsilon float64
 	nAction int
+	scratch []float64 // private nn.ForwardInto buffer (one per actor)
 	traj    []Transition
 	reward  float64
 }
@@ -42,6 +43,7 @@ func NewActor(net *nn.Network, epsilon float64, seed int64) (*Actor, error) {
 		rng:     NewRNG(seed),
 		epsilon: epsilon,
 		nAction: net.OutputSize(),
+		scratch: net.NewScratch(),
 	}, nil
 }
 
@@ -50,12 +52,12 @@ func (a *Actor) SelectAction(state []float64, mask []bool) int {
 	if a.rng.Float64() < a.epsilon {
 		return randValid(a.rng, a.nAction, mask)
 	}
-	return argmaxMasked(a.net.Forward(state), mask)
+	return argmaxMasked(a.net.ForwardInto(state, a.scratch), mask)
 }
 
 // Greedy implements Policy: best action, no exploration.
 func (a *Actor) Greedy(state []float64, mask []bool) int {
-	return argmaxMasked(a.net.Forward(state), mask)
+	return argmaxMasked(a.net.ForwardInto(state, a.scratch), mask)
 }
 
 // Observe implements Policy by appending to the recorded trajectory.

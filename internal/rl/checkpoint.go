@@ -117,6 +117,7 @@ func (d *DQN) LoadCheckpoint(r io.Reader) (episodes uint64, err error) {
 	d.target = target
 	d.opt = opt
 	d.grad = make([]float64, online.NumParams())
+	d.scratch = online.NewScratch()
 	d.steps = wire.Steps
 	d.learnN = wire.LearnN
 	d.rng.SetState(wire.RNGState)

@@ -90,6 +90,8 @@ type DQN struct {
 	replay  *Replay
 	rng     *RNG
 	grad    []float64
+	scratch []float64 // flat nn.ForwardInto buffer for the action/learn hot loops
+	dOut    []float64
 	batch   []Transition
 	steps   int // environment steps observed
 	learnN  int // learning steps taken
@@ -124,6 +126,8 @@ func NewDQN(stateSize, numActions int, cfg DQNConfig) (*DQN, error) {
 		replay:  NewReplay(cfg.BufferSize),
 		rng:     NewRNG(cfg.Seed),
 		grad:    make([]float64, online.NumParams()),
+		scratch: online.NewScratch(),
+		dOut:    make([]float64, numActions),
 		nAction: numActions,
 	}, nil
 }
@@ -168,12 +172,12 @@ func (d *DQN) SelectAction(state []float64, mask []bool) int {
 	if d.rng.Float64() < d.Epsilon() {
 		return randValid(d.rng, d.nAction, mask)
 	}
-	return argmaxMasked(d.online.Forward(state), mask)
+	return argmaxMasked(d.online.ForwardInto(state, d.scratch), mask)
 }
 
 // Greedy picks the best action without exploration.
 func (d *DQN) Greedy(state []float64, mask []bool) int {
-	return argmaxMasked(d.online.Forward(state), mask)
+	return argmaxMasked(d.online.ForwardInto(state, d.scratch), mask)
 }
 
 // Observe records a transition and performs one learning step when
@@ -193,15 +197,17 @@ func (d *DQN) Observe(t Transition) {
 func (d *DQN) learn() {
 	d.batch = d.replay.Sample(d.rng, d.cfg.BatchSize, d.batch)
 	nn.Zero(d.grad)
-	dOut := make([]float64, d.nAction)
+	dOut := d.dOut
 	lossSum := 0.0
 	for _, tr := range d.batch {
 		target := tr.Reward
 		if !tr.Done {
-			nextQ := d.target.Forward(tr.NextState)
+			// nextQ aliases d.scratch; it is fully consumed into the
+			// scalar target before the next ForwardInto reuses the buffer.
+			nextQ := d.target.ForwardInto(tr.NextState, d.scratch)
 			target += d.cfg.Gamma * maxMasked(nextQ, tr.NextMask)
 		}
-		q := d.online.Forward(tr.State)
+		q := d.online.ForwardInto(tr.State, d.scratch)
 		for i := range dOut {
 			dOut[i] = 0
 		}
@@ -281,6 +287,7 @@ func (d *DQN) LoadPolicy(r io.Reader) error {
 	d.online = net
 	d.target = net.Clone()
 	d.grad = make([]float64, net.NumParams())
+	d.scratch = net.NewScratch()
 	return nil
 }
 

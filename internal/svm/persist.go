@@ -57,12 +57,20 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("svm: corrupt model: %d SVs, %d labels, %d alphas",
 			len(wire.SVX), len(wire.SVY), len(wire.Alpha))
 	}
-	return &Model{
+	for i, sv := range wire.SVX {
+		if len(sv) != len(wire.SVX[0]) {
+			return nil, fmt.Errorf("svm: corrupt model: SV %d has %d dims, want %d",
+				i, len(sv), len(wire.SVX[0]))
+		}
+	}
+	m := &Model{
 		kernel: kernel,
 		svX:    wire.SVX,
 		svY:    wire.SVY,
 		alpha:  wire.Alpha,
 		bias:   wire.Bias,
 		scaler: &Scaler{Mean: wire.Mean, Std: wire.Std},
-	}, nil
+	}
+	m.finalize()
+	return m, nil
 }

@@ -106,6 +106,10 @@ type Model struct {
 	bias   float64
 	scaler *Scaler
 
+	// fast is the precomputed inference state (folded scaler, linear
+	// weight vector, flattened RBF support vectors); see fast.go.
+	fast *fastState
+
 	predictions *obs.Counter // nil (free) unless EnableMetrics is called
 }
 
@@ -271,17 +275,19 @@ func Train(x [][]float64, y []bool, cfg Config) (*Model, error) {
 	if len(m.svX) == 0 {
 		return nil, fmt.Errorf("%w: training produced no support vectors", ErrBadTrainingSet)
 	}
+	m.finalize()
 	return m, nil
 }
 
-// Decision returns the signed margin for a raw (unscaled) feature vector.
+// Decision returns the signed margin for a raw (unscaled) feature
+// vector. It runs the precomputed fast path (see fast.go) over a pooled
+// workspace, so it stays safe for concurrent use and allocation-free in
+// steady state; use DecisionInto with a caller-owned Workspace to avoid
+// the pool in tight per-worker loops.
 func (m *Model) Decision(x []float64) float64 {
-	m.predictions.Inc()
-	xs := m.scaler.Transform(x)
-	s := m.bias
-	for i := range m.svX {
-		s += m.alpha[i] * m.svY[i] * m.kernel.Compute(m.svX[i], xs)
-	}
+	ws := wsPool.Get().(*Workspace)
+	s := m.DecisionInto(ws, x)
+	wsPool.Put(ws)
 	return s
 }
 

@@ -1,0 +1,151 @@
+package weather
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"mobirescue/internal/geo"
+)
+
+// stormSample is the position-independent part of one Hurricane field
+// evaluation at a fixed instant: the temporal envelope, the storm-center
+// position, and the products that the per-point evaluation multiplies
+// its spatial decay into. Computing it once per instant removes the
+// spherical trig (CenterAt's geo.Destination) and the envelope cosine
+// from every per-person query — the dominant cost of the naive
+// 24-hour trailing scan, which re-derived all of it for every person.
+type stormSample struct {
+	center geo.Point
+	// pe is PeakPrecip*envelope; PrecipAt(p) = pe * spatial(dist(p,center)).
+	pe float64
+	// e is the raw envelope; WindAt(p) = e*(BaseWind + windDiff*decay).
+	e float64
+	// zero is true when the envelope is 0 (outside the impact window):
+	// both fields are exactly 0 there and the distance need not be
+	// computed at all.
+	zero bool
+}
+
+// FactorIndex answers WindowFactors queries over a Hurricane field in
+// O(samples) cheap arithmetic per point by precomputing the storm
+// series — the per-instant envelope/center state shared by every
+// spatial query at that instant — behind a bounded memo. Outputs are
+// byte-identical to the naive WindowFactors path: the index reproduces
+// the exact floating-point evaluation order of Hurricane.PrecipAt /
+// WindAt and the naive trailing-scan accumulation (pinned by
+// TestFactorIndexMatchesNaive). For fields other than *Hurricane the
+// index transparently falls back to the naive path.
+//
+// A FactorIndex is safe for concurrent use.
+type FactorIndex struct {
+	field    Field
+	hur      *Hurricane // non-nil enables the fast path
+	elev     func(geo.Point) float64
+	lookback time.Duration
+
+	mu      sync.Mutex
+	samples map[int64]stormSample
+	// maxSamples bounds the memo; on overflow the whole map is reset
+	// (entries are pure functions of time and trivially recomputed).
+	maxSamples int
+}
+
+// NewFactorIndex builds an index over f with the given elevation oracle
+// and trailing-average lookback (see WindowFactors). The fast path
+// engages when f is a *Hurricane; any other Field (including Calm and
+// test doubles) uses the naive path with identical results.
+func NewFactorIndex(f Field, elev func(geo.Point) float64, lookback time.Duration) *FactorIndex {
+	hur, _ := f.(*Hurricane)
+	return &FactorIndex{
+		field:    f,
+		hur:      hur,
+		elev:     elev,
+		lookback: lookback,
+		samples:  make(map[int64]stormSample),
+		// ~28 days of 5-minute windows x 25 hourly sample offsets each;
+		// samples repeat across windows so real occupancy is far lower.
+		maxSamples: 1 << 15,
+	}
+}
+
+// Lookback returns the trailing-average window the index answers for.
+func (fi *FactorIndex) Lookback() time.Duration { return fi.lookback }
+
+// sample returns the memoized storm state at t, computing and caching
+// it on miss.
+func (fi *FactorIndex) sample(t time.Time) stormSample {
+	key := t.UnixNano()
+	fi.mu.Lock()
+	s, ok := fi.samples[key]
+	if ok {
+		fi.mu.Unlock()
+		return s
+	}
+	fi.mu.Unlock()
+
+	h := fi.hur
+	e := h.envelope(t)
+	if e == 0 {
+		s = stormSample{zero: true}
+	} else {
+		s = stormSample{center: h.CenterAt(t), pe: h.PeakPrecip * e, e: e}
+	}
+
+	fi.mu.Lock()
+	if len(fi.samples) >= fi.maxSamples {
+		fi.samples = make(map[int64]stormSample)
+	}
+	fi.samples[key] = s
+	fi.mu.Unlock()
+	return s
+}
+
+// WindowFactors returns the trailing-window-averaged factor vector at p
+// and t — byte-identical to weather.WindowFactors(f, elev, p, t,
+// lookback), but with the storm series memoized and the center distance
+// computed once per sample instead of once per field.
+func (fi *FactorIndex) WindowFactors(p geo.Point, t time.Time) Factors {
+	if fi.hur == nil || fi.lookback <= 0 {
+		return WindowFactors(fi.field, fi.elev, p, t, fi.lookback)
+	}
+	h := fi.hur
+	windDiff := h.PeakWind - h.BaseWind
+	var precip, wind float64
+	n := 0
+	for back := time.Duration(0); back <= fi.lookback; back += time.Hour {
+		at := t.Add(-back)
+		s := fi.sample(at)
+		n++
+		if s.zero {
+			continue // both fields are exactly 0 outside the window
+		}
+		d := geo.FastDistance(p, s.center)
+		// Exact FP evaluation order of Hurricane.PrecipAt:
+		// (PeakPrecip*e) * spatial(d).
+		precip += s.pe * h.spatial(d)
+		// Exact FP evaluation order of Hurricane.WindAt.
+		decay := math.Exp(-d / (2 * h.Radius))
+		wind += s.e * (h.BaseWind + windDiff*decay)
+	}
+	alt := 0.0
+	if fi.elev != nil {
+		alt = fi.elev(p)
+	}
+	return Factors{
+		Precip:   precip / float64(n),
+		Wind:     wind / float64(n),
+		Altitude: alt,
+	}
+}
+
+// FactorsInto fills vec (which must have length >= 3) with the factor
+// vector in the canonical (precipitation, wind, altitude) order without
+// allocating — the zero-alloc companion of Factors.Vector for per-worker
+// prediction loops.
+func (fi *FactorIndex) FactorsInto(vec []float64, p geo.Point, t time.Time) {
+	f := fi.WindowFactors(p, t)
+	vec[0] = f.Precip
+	vec[1] = f.Wind
+	vec[2] = f.Altitude
+}
