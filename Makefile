@@ -1,14 +1,16 @@
-# MobiRescue build/test entry points. CI runs `make verify` and `make
-# race` as separate jobs: verify is the fast tier-1 gate, race runs the
-# full suite — including the chaos and resilience tests, whose
+# MobiRescue build/test entry points. `make ci` is the default gate:
+# tier-1 verify (vet + build + test) plus the event-log
+# determinism/bench-gate smoke. CI runs the same pieces as separate
+# jobs (`verify`, `eventlog-smoke`) alongside `make race`, which runs
+# the full suite — including the chaos and resilience tests, whose
 # goroutine-per-Decide wrapper is exactly where races would hide —
 # under the race detector.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz cover verify clean
+.PHONY: all build vet test race bench bench-smoke eventlog-smoke fuzz cover verify ci clean
 
-all: verify race
+all: ci race
 
 build:
 	$(GO) build ./...
@@ -70,7 +72,27 @@ cover:
 		fi; \
 	done
 
+# Flight-recorder determinism + bench-gate smoke: record the small
+# scenario twice (workers 1 vs 8 — telemetry, like results, must not
+# depend on physical parallelism), assert `analyze diff` reports zero
+# divergence, render a timeline from the structured log, and run the
+# bench-regression gate over the checked-in BENCH_*.json artifacts in
+# portable mode (allocs/bytes strict, speedup ratios within tolerance;
+# raw ns/op skipped — they do not transfer across machines). The
+# self-check pins the artifacts' own invariants and the gate tool; a
+# real regression check diffs a fresh `make bench` artifact instead.
+eventlog-smoke:
+	$(GO) run ./cmd/mobirescue -scale small -method mr -episodes 1 -eventlog eventlog_a.jsonl
+	$(GO) run ./cmd/mobirescue -scale small -method mr -episodes 1 -workers 8 -train-workers 8 -eventlog eventlog_b.jsonl
+	$(GO) run ./cmd/analyze diff eventlog_a.jsonl eventlog_b.jsonl
+	$(GO) run ./cmd/analyze timeline eventlog_a.jsonl >/dev/null
+	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_routing.json -fresh BENCH_routing.json
+	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_predict.json -fresh BENCH_predict.json
+
 verify: vet build test
+
+# The default CI gate: tier-1 verify plus the event-log smoke.
+ci: verify eventlog-smoke
 
 clean:
 	$(GO) clean ./...

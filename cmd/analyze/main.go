@@ -1,30 +1,265 @@
-// Command analyze reproduces the paper's dataset-measurement section
-// (Section III): Table I's factor/flow correlations and Figures 2–6 over
-// the synthetic Hurricane-Florence mobility dataset.
+// Command analyze is the offline analysis tool: the paper's
+// dataset-measurement section (Section III) plus the flight-recorder
+// toolchain built on internal/obs/eventlog.
 //
 // Usage:
 //
-//	analyze [-scale small|mid|full] [-seed S] [-out table1|fig2|fig3|fig4|fig5|fig6|all]
+//	analyze [-scale small|mid|full] [-seed S] [-out table1|fig2|...|fig6|all]
+//	analyze timeline [-legacy-text] <run.jsonl | report.txt>
+//	analyze diff <a.jsonl> <b.jsonl>
+//	analyze bench-check [-tol 0.05] [-portable] -base BENCH_x.json -fresh fresh.json
+//
+// With no subcommand it reproduces Table I and Figures 2–6 over the
+// synthetic Hurricane-Florence mobility dataset (the original mode).
+//
+// timeline reconstructs per-window served/active/reward curves — and,
+// when the log contains faults, the perturbation-and-recovery
+// resilience summary — from a flight-recorder event log written with
+// `-eventlog` (see README "Flight recorder & run diffing").
+// -legacy-text instead parses the old cmd/experiments text report
+// (results_small.txt format); that path is deprecated — the text
+// report collapses runs into hourly aggregates, so prefer the event
+// log (see EXPERIMENTS.md).
+//
+// diff compares two event logs window by window and pinpoints the
+// first divergence. Exit status 1 when the logs diverge or are not
+// comparable, so CI can assert determinism with a single command.
+//
+// bench-check compares a fresh benchmark artifact against a checked-in
+// baseline (BENCH_routing.json / BENCH_predict.json) with tolerance
+// bands — see internal/benchgate for the rules. -portable restricts
+// the gate to machine-independent checks (allocation counts, speedup
+// ratios, boolean invariants) for CI hardware that differs from the
+// baseline machine. Exit status 1 on any violation.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
+	"mobirescue/internal/benchgate"
 	"mobirescue/internal/core"
+	"mobirescue/internal/obs/eventlog"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
-	var (
-		scale = flag.String("scale", "mid", "scenario scale: "+core.ScaleNames)
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "all", "which output: table1, fig2..fig6, all")
-	)
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "timeline":
+			runTimeline(os.Args[2:])
+			return
+		case "diff":
+			runDiff(os.Args[2:])
+			return
+		case "bench-check":
+			runBenchCheck(os.Args[2:])
+			return
+		}
+	}
+	runFigures(os.Args[1:])
+}
+
+// runTimeline prints per-window timelines (and resilience curves) from
+// a flight-recorder event log, or — deprecated — from a legacy
+// cmd/experiments text report.
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("analyze timeline", flag.ExitOnError)
+	legacy := fs.Bool("legacy-text", false, "parse a legacy experiments text report (results_small.txt format) instead of an event log (deprecated; see EXPERIMENTS.md)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("timeline: want exactly one input file (an -eventlog JSONL, or a text report with -legacy-text)")
+	}
+	path := fs.Arg(0)
+	if *legacy {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := legacyTimeline(os.Stdout, f); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	rl, err := eventlog.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tls := eventlog.BuildTimelines(rl)
+	eventlog.WriteTimeline(os.Stdout, rl, tls)
+}
+
+// runDiff compares two event logs and exits 1 when they diverge.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("analyze diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		log.Fatal("diff: want exactly two event-log files")
+	}
+	a, err := eventlog.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := eventlog.ReadFile(fs.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := eventlog.Diff(a, b)
+	eventlog.WriteDiff(os.Stdout, res, fs.Arg(0), fs.Arg(1))
+	if !res.Comparable || !res.Identical {
+		os.Exit(1)
+	}
+}
+
+// runBenchCheck gates a fresh benchmark artifact against a baseline
+// and exits 1 on any violation.
+func runBenchCheck(args []string) {
+	fs := flag.NewFlagSet("analyze bench-check", flag.ExitOnError)
+	basePath := fs.String("base", "", "checked-in baseline artifact (e.g. BENCH_routing.json)")
+	freshPath := fs.String("fresh", "", "freshly generated artifact to gate")
+	tol := fs.Float64("tol", benchgate.DefaultTolerance, "fractional tolerance band for timing/speedup fields")
+	portable := fs.Bool("portable", false, "machine-independent checks only (allocs, speedups, invariants) — for CI hardware that differs from the baseline machine")
+	fs.Parse(args)
+	if *basePath == "" || *freshPath == "" {
+		log.Fatal("bench-check: -base and -fresh are both required")
+	}
+	base, err := os.ReadFile(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := os.ReadFile(*freshPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vs, err := benchgate.Check(base, fresh, benchgate.Options{Tolerance: *tol, Portable: *portable})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "full"
+	if *portable {
+		mode = "portable"
+	}
+	if len(vs) == 0 {
+		fmt.Printf("PASS: %s within %s tolerance bands of %s (tol %.0f%%)\n",
+			*freshPath, mode, *basePath, *tol*100)
+		return
+	}
+	fmt.Printf("FAIL: %s regresses %s (%d violation(s), %s mode):\n", *freshPath, *basePath, len(vs), mode)
+	for _, v := range vs {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
+}
+
+// legacyTimeline parses the old cmd/experiments text report — the
+// results_small.txt format — and prints an hourly per-method timeline.
+// Deprecated: the text report only carries hourly aggregates (timely
+// served from Figure 9, serving teams from Figure 14); record with
+// -eventlog for the per-window stream instead.
+func legacyTimeline(w io.Writer, r io.Reader) error {
+	timely, servingF, err := parseLegacyReport(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "legacy text report (deprecated: hourly aggregates only — record with -eventlog for the per-window stream; see EXPERIMENTS.md)")
+	names := make([]string, 0, len(timely))
+	for n := range timely {
+		names = append(names, n)
+	}
+	for n := range servingF {
+		if _, dup := timely[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no hourly series found (is this a cmd/experiments report?)")
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "\nrun %s:\n", name)
+		fmt.Fprintf(w, "  %4s %8s %8s\n", "hour", "timely", "serving")
+		hours := len(timely[name])
+		if len(servingF[name]) > hours {
+			hours = len(servingF[name])
+		}
+		for h := 0; h < hours; h++ {
+			t, s := "-", "-"
+			if h < len(timely[name]) {
+				t = strconv.Itoa(timely[name][h])
+			}
+			if h < len(servingF[name]) {
+				s = strconv.FormatFloat(servingF[name][h], 'f', 1, 64)
+			}
+			fmt.Fprintf(w, "  %4d %8s %8s\n", h, t, s)
+		}
+	}
+	return nil
+}
+
+// parseLegacyReport extracts the Figure 9 (timely served per hour, int)
+// and Figure 14 (serving teams per hour, float) tables from an
+// experiments text report.
+func parseLegacyReport(r io.Reader) (timely map[string][]int, serving map[string][]float64, err error) {
+	timely = make(map[string][]int)
+	serving = make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var names []string
+	mode := 0 // 0 = scanning, 1 = in Figure 9, 2 = in Figure 14
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Figure 9:"):
+			mode, names = 1, nil
+		case strings.HasPrefix(line, "Figure 14:"):
+			mode, names = 2, nil
+		case mode != 0 && strings.TrimSpace(line) == "":
+			mode = 0
+		case mode != 0:
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			if fields[0] == "hour" {
+				names = fields[1:]
+				continue
+			}
+			if _, err := strconv.Atoi(fields[0]); err != nil || len(fields) != len(names)+1 {
+				continue // not a data row
+			}
+			for i, name := range names {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					continue
+				}
+				if mode == 1 {
+					timely[name] = append(timely[name], int(v))
+				} else {
+					serving[name] = append(serving[name], v)
+				}
+			}
+		}
+	}
+	return timely, serving, sc.Err()
+}
+
+// runFigures is the original mode: Table I and Figures 2–6 (Section
+// III dataset measurement) over the synthetic scenario.
+func runFigures(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	scale := fs.String("scale", "mid", "scenario scale: "+core.ScaleNames)
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "all", "which output: table1, fig2..fig6, all")
+	fs.Parse(args)
 
 	cfg, err := core.ScenarioConfigForScale(*scale)
 	if err != nil {

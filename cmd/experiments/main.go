@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-obs addr] [-cpuprofile f] [-memprofile f]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-eventlog f] [-eventlog-timing] [-obs addr] [-cpuprofile f] [-memprofile f]
 //
 // RL training uses the parallel actor–learner pipeline: -train-actors
 // logical actors (default 4) roll out under the -train-workers
@@ -13,6 +13,13 @@
 // -train-workers value. -load-policy warm-starts from a checkpoint
 // (train on top with -episodes, or pass -episodes -1 to skip training);
 // -save-policy writes the trained state for later runs.
+//
+// -eventlog records the whole session — training rounds, the fault-free
+// comparison, and any chaos re-run — as one flight-recorder stream
+// (structured JSONL; see README "Flight recorder & run diffing") for
+// `analyze timeline` / `analyze diff`. The manifest records the
+// configuration at log creation (chaos off; the chaos re-run's fault
+// events still appear in the stream).
 //
 // -chaos re-runs the comparison under deterministic fault injection
 // after the fault-free pass and prints each method's degradation
@@ -26,8 +33,8 @@ package main
 
 import (
 	"context"
-	"fmt"
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
 	"sort"
@@ -37,6 +44,7 @@ import (
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/sim"
 	"mobirescue/internal/stats"
 )
@@ -56,6 +64,8 @@ func main() {
 		trainAc  = flag.Int("train-actors", 0, "logical actor count for RL training (0 = default 4; changes the training experiment, not just its speed)")
 		savePol  = flag.String("save-policy", "", "write the trained policy checkpoint to this file")
 		loadPol  = flag.String("load-policy", "", "warm-start the policy from this checkpoint before training")
+		evlogF   = flag.String("eventlog", "", "record the flight-recorder event stream (JSONL) to this file")
+		evlogT   = flag.Bool("eventlog-timing", false, "include wall-clock fields in -eventlog (breaks cross-run byte-identity)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -95,6 +105,23 @@ func main() {
 		fatal(logger, err)
 	}
 	defer obs.WriteReport(os.Stderr, reg, tracer)
+	if *evlogF != "" {
+		elog, err := eventlog.Create(*evlogF, sys.BuildManifest(*scale, sc.Config),
+			eventlog.Options{Timing: *evlogT})
+		if err != nil {
+			fatal(logger, err)
+		}
+		elog.EnableMetrics(reg)
+		sys.SetEventLog(elog)
+		defer func() {
+			events, bytes, drops := elog.Stats()
+			if err := elog.Close(); err != nil {
+				logger.Warn("closing event log", slog.Any("err", err))
+			}
+			logger.Info("event log written", slog.String("path", *evlogF),
+				slog.Int64("events", events), slog.Int64("bytes", bytes), slog.Int64("drops", drops))
+		}()
+	}
 	fmt.Printf("# scenario: %d people, %d landmarks, %d segments, %d teams\n",
 		len(sc.Eval.Data.People), sc.City.Graph.NumLandmarks(), sc.City.Graph.NumSegments(), sys.Teams)
 	fmt.Printf("# eval day %d (peak), %d ground-truth requests\n",

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-checkpoint-every N] [-chaos profile] [-chaos-seed S] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-checkpoint-every N] [-chaos profile] [-chaos-seed S] [-eventlog f] [-eventlog-timing] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
 //
 // With -obs the process serves /metrics (Prometheus text format),
 // /healthz, /debug/vars, and /debug/pprof/* on the given address for the
 // whole run, then keeps serving until interrupted so the final metric
 // values stay scrapeable. -report prints the span/metric report on
 // stderr at the end of the run (implied by -obs).
+//
+// -eventlog records the run's flight-recorder stream (structured JSONL
+// events from every layer — see README "Flight recorder & run diffing")
+// to the given file; feed it to `analyze timeline` or `analyze diff`.
+// The log is byte-identical for any -workers value. -eventlog-timing
+// additionally records wall-clock fields (Decide latency, shared-cache
+// snapshots) at the cost of that byte-identity.
 //
 // -chaos enables deterministic fault injection (flash-flood surges,
 // vehicle breakdowns, sensing and dispatcher faults) and wraps the
@@ -38,6 +45,7 @@ import (
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/stats"
 )
 
@@ -59,6 +67,8 @@ func main() {
 		savePol  = flag.String("save-policy", "", "write the trained policy checkpoint to this file (also checkpointed during training)")
 		loadPol  = flag.String("load-policy", "", "warm-start the policy from this checkpoint before training/evaluation")
 		ckptEv   = flag.Int("checkpoint-every", 0, "also checkpoint to -save-policy every N training rounds (0 = only at the end)")
+		evlogF   = flag.String("eventlog", "", "record the flight-recorder event stream (JSONL) to this file")
+		evlogT   = flag.Bool("eventlog-timing", false, "include wall-clock fields in -eventlog (breaks cross-run byte-identity)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -142,6 +152,23 @@ func main() {
 		}
 		logger.Info("chaos enabled",
 			slog.String("profile", profile.Name), slog.Int64("chaos-seed", *chaosSd))
+	}
+	if *evlogF != "" {
+		elog, err := eventlog.Create(*evlogF, sys.BuildManifest(*scale, cfg),
+			eventlog.Options{Timing: *evlogT})
+		if err != nil {
+			fatal(logger, err)
+		}
+		elog.EnableMetrics(reg)
+		sys.SetEventLog(elog)
+		defer func() {
+			events, bytes, drops := elog.Stats()
+			if err := elog.Close(); err != nil {
+				logger.Warn("closing event log", slog.Any("err", err))
+			}
+			logger.Info("event log written", slog.String("path", *evlogF),
+				slog.Int64("events", events), slog.Int64("bytes", bytes), slog.Int64("drops", drops))
+		}()
 	}
 
 	if *loadPol != "" {

@@ -1,0 +1,113 @@
+// Rundiff is the flight-recorder walkthrough: it records the same
+// evaluation run three times — workers=1, workers=8, and workers=1
+// under chaos — and diffs the event logs. The first diff witnesses the
+// determinism contract (worker counts never change the event stream,
+// byte for byte); the second pinpoints the exact window where fault
+// injection first bent the run, then prints that run's
+// perturbation-and-recovery timeline. Everything is seeded, so the
+// output is reproducible.
+//
+//	go run ./examples/rundiff
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"mobirescue"
+	"mobirescue/internal/chaos"
+	"mobirescue/internal/core"
+	"mobirescue/internal/obs/eventlog"
+)
+
+const chaosSeed = 7
+
+// record builds a fresh system at the given worker count, runs the
+// Schedule baseline on the evaluation day (no training needed), and
+// returns the captured event log.
+func record(sc *core.Scenario, workers int, profile chaos.Profile) []byte {
+	cfg := mobirescue.DefaultSystemConfig()
+	cfg.Workers = workers
+	sys, err := mobirescue.NewSystem(sc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if profile.Enabled() {
+		if err := sys.SetChaos(profile, chaosSeed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	l, err := eventlog.New(&buf, sys.BuildManifest("small", sc.Config), eventlog.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.SetEventLog(l)
+	if _, err := sys.RunMethod("schedule", 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func read(raw []byte) *eventlog.RunLog {
+	rl, err := eventlog.Read(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rl
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("building scenario...")
+	sc, err := mobirescue.BuildScenario(mobirescue.SmallScenarioConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("recording run A (workers=1) and run B (workers=8)...")
+	a := record(sc, 1, chaos.Off())
+	b := record(sc, 8, chaos.Off())
+
+	fmt.Println("\n--- determinism witness: same seed, different worker counts ---")
+	eventlog.WriteDiff(os.Stdout, eventlog.Diff(read(a), read(b)), "workers=1", "workers=8")
+
+	fmt.Printf("\nrecording run C (workers=1, chaos profile %s, seed %d)...\n",
+		chaos.DefaultProfile().Name, chaosSeed)
+	c := record(sc, 1, chaos.DefaultProfile())
+
+	fmt.Println("\n--- first-divergence finder: clean vs chaotic run ---")
+	eventlog.WriteDiff(os.Stdout, eventlog.Diff(read(a), read(c)), "clean", "chaos")
+
+	fmt.Println("\n--- perturbation-and-recovery summary of the chaotic run ---")
+	rc := read(c)
+	tls := eventlog.BuildTimelines(rc)
+	for _, r := range eventlog.BuildResilience(rc, tls) {
+		if r.Run == "" {
+			continue // faults logged outside a named run
+		}
+		if r.FirstFaultW == 0 {
+			fmt.Printf("%s: no faults recorded\n", r.Run)
+			continue
+		}
+		fmt.Printf("%s: %d fault(s), first at window %d; serving baseline %.1f, dip to %.0f at window %d, ",
+			r.Run, r.FaultCount, r.FirstFaultW, r.Baseline, r.Dip, r.DipW)
+		if r.RecoveredW > 0 {
+			fmt.Printf("recovered by window %d\n", r.RecoveredW)
+		} else {
+			fmt.Printf("never recovered\n")
+		}
+	}
+	fmt.Println("(run `go run ./cmd/analyze timeline <log>` for the full per-window table)")
+
+	fmt.Println("\nreproduce from the command line:")
+	fmt.Println("  go run ./cmd/mobirescue -scale small -method schedule -episodes -1 -eventlog a.jsonl")
+	fmt.Println("  go run ./cmd/mobirescue -scale small -method schedule -episodes -1 -workers 8 -eventlog b.jsonl")
+	fmt.Println("  go run ./cmd/analyze diff a.jsonl b.jsonl")
+	fmt.Println("  go run ./cmd/analyze timeline a.jsonl")
+}

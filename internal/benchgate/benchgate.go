@@ -1,0 +1,273 @@
+// Package benchgate compares a freshly generated benchmark artifact
+// (BENCH_routing.json / BENCH_predict.json, written by cmd/benchroute
+// and cmd/benchpredict) against a checked-in baseline and reports every
+// field that regressed beyond a tolerance band. It is the repo's
+// automated perf-regression gate: `analyze bench-check` is a thin CLI
+// over Check, and CI fails when any violation survives.
+//
+// The comparison is structural, not schema-bound: both documents are
+// decoded as generic JSON and walked in parallel, so new benchmarks and
+// new fields never break the gate — rules attach to leaf key names:
+//
+//   - ns_per_op, *_ns_per_op, *_seconds — lower is better; the fresh
+//     value may exceed the baseline by at most the tolerance fraction.
+//     Skipped in Portable mode (absolute wall-clock is a property of
+//     the machine that wrote the baseline, meaningless on other
+//     hardware).
+//   - speedup, *_speedup — higher is better; the fresh value may fall
+//     short of the baseline by at most the tolerance fraction. Checked
+//     in Portable mode too: ratios between two measurements on the
+//     same machine transfer across machines.
+//   - allocs_per_op, bytes_per_op — strict: the fresh value must not
+//     exceed the baseline at all. Allocation counts are a property of
+//     the code, not the hardware, so these hold in every mode.
+//   - boolean leaves (e.g. results_identical) — must not regress from
+//     true to false.
+//   - iterations, generated_at, go_version, gomaxprocs, smoke, scale,
+//     seed, workers, train_episodes, warmup_seconds and every other
+//     leaf — informational; never compared.
+//
+// Array elements are matched by their "name" (or "method") key, so
+// reordering benchmarks is harmless; a baseline entry missing from the
+// fresh artifact is itself a violation (a benchmark silently vanishing
+// is a regression of coverage, not of speed).
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultTolerance is the fractional tolerance band applied to timing
+// and speedup fields when the caller does not choose one.
+const DefaultTolerance = 0.05
+
+// Options configures a Check run.
+type Options struct {
+	// Tolerance is the fractional band for timing and speedup fields
+	// (0.05 = 5%). Zero means DefaultTolerance; negative is an error.
+	Tolerance float64
+	// Portable skips absolute wall-clock comparisons (ns_per_op,
+	// *_seconds), keeping only machine-independent checks: allocation
+	// counts, speedup ratios, and boolean invariants. Use it when the
+	// fresh artifact was generated on different hardware than the
+	// baseline — which is every CI run.
+	Portable bool
+}
+
+// Violation is one field that regressed.
+type Violation struct {
+	Path  string  // dotted path into the document, e.g. "routing[tree_cached].ns_per_op"
+	Base  float64 // baseline value (0/1 for bools)
+	Fresh float64 // fresh value (0/1 for bools)
+	Why   string  // human-readable rule that fired
+}
+
+// String formats the violation for terminal output.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (base %v, fresh %v)", v.Path, v.Why, v.Base, v.Fresh)
+}
+
+// ignored are leaf keys that are bookkeeping, not perf claims.
+var ignored = map[string]bool{
+	"generated_at":   true,
+	"go_version":     true,
+	"gomaxprocs":     true,
+	"iterations":     true,
+	"smoke":          true,
+	"scale":          true,
+	"seed":           true,
+	"workers":        true,
+	"train_episodes": true,
+	"warmup_seconds": true, // setup cost, not a benchmarked path
+}
+
+// Check decodes both artifacts and returns every rule violation, sorted
+// by path. An empty slice means the fresh artifact passes the gate.
+func Check(base, fresh []byte, opts Options) ([]Violation, error) {
+	if opts.Tolerance < 0 {
+		return nil, fmt.Errorf("benchgate: negative tolerance %v", opts.Tolerance)
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = DefaultTolerance
+	}
+	var b, f any
+	if err := json.Unmarshal(base, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: baseline: %w", err)
+	}
+	if err := json.Unmarshal(fresh, &f); err != nil {
+		return nil, fmt.Errorf("benchgate: fresh artifact: %w", err)
+	}
+	var out []Violation
+	walk(&out, "", "", b, f, opts)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// walk compares the baseline node against the fresh node at path; key
+// is the leaf key the node was reached through ("" at the root).
+func walk(out *[]Violation, path, key string, base, fresh any, opts Options) {
+	switch b := base.(type) {
+	case map[string]any:
+		f, ok := fresh.(map[string]any)
+		if !ok {
+			*out = append(*out, Violation{Path: path, Why: "object missing from fresh artifact"})
+			return
+		}
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if ignored[k] {
+				continue
+			}
+			child := k
+			if path != "" {
+				child = path + "." + k
+			}
+			fv, present := f[k]
+			if !present {
+				if wouldCompare(k, b[k], opts) {
+					*out = append(*out, Violation{Path: child, Base: num(b[k]), Why: "field missing from fresh artifact"})
+				}
+				continue
+			}
+			walk(out, child, k, b[k], fv, opts)
+		}
+	case []any:
+		f, ok := fresh.([]any)
+		if !ok {
+			*out = append(*out, Violation{Path: path, Why: "array missing from fresh artifact"})
+			return
+		}
+		for _, be := range b {
+			bm, ok := be.(map[string]any)
+			if !ok {
+				continue // arrays of scalars carry no perf claims
+			}
+			id := entryID(bm)
+			fe := findEntry(f, id)
+			child := fmt.Sprintf("%s[%s]", path, id)
+			if fe == nil {
+				*out = append(*out, Violation{Path: child, Why: "benchmark entry missing from fresh artifact"})
+				continue
+			}
+			walk(out, child, key, bm, fe, opts)
+		}
+	case bool:
+		fb, ok := fresh.(bool)
+		if !ok {
+			*out = append(*out, Violation{Path: path, Base: num(b), Why: "boolean field missing or changed type"})
+			return
+		}
+		if b && !fb {
+			*out = append(*out, Violation{Path: path, Base: 1, Fresh: 0, Why: "invariant regressed from true to false"})
+		}
+	case float64:
+		fv, ok := fresh.(float64)
+		if !ok {
+			if wouldCompare(key, b, opts) {
+				*out = append(*out, Violation{Path: path, Base: b, Why: "numeric field missing or changed type"})
+			}
+			return
+		}
+		checkNumber(out, path, key, b, fv, opts)
+	}
+}
+
+// wouldCompare reports whether a missing field of this key/value would
+// have been compared at all (so purely informational omissions don't
+// fail the gate).
+func wouldCompare(key string, base any, opts Options) bool {
+	switch base.(type) {
+	case bool:
+		return true
+	case float64:
+		return rule(key, opts) != ruleNone
+	case map[string]any, []any:
+		return true
+	}
+	return false
+}
+
+type numRule int
+
+const (
+	ruleNone numRule = iota
+	ruleLowerBetter
+	ruleHigherBetter
+	ruleStrictNoIncrease
+)
+
+// rule maps a leaf key to its comparison rule under the given options.
+func rule(key string, opts Options) numRule {
+	switch {
+	case key == "allocs_per_op" || key == "bytes_per_op":
+		return ruleStrictNoIncrease
+	case key == "speedup" || strings.HasSuffix(key, "_speedup"):
+		return ruleHigherBetter
+	case opts.Portable:
+		return ruleNone // absolute timings don't transfer across machines
+	case key == "ns_per_op" || strings.HasSuffix(key, "_ns_per_op") || strings.HasSuffix(key, "_seconds"):
+		return ruleLowerBetter
+	}
+	return ruleNone
+}
+
+func checkNumber(out *[]Violation, path, key string, base, fresh float64, opts Options) {
+	switch rule(key, opts) {
+	case ruleLowerBetter:
+		if fresh > base*(1+opts.Tolerance) {
+			*out = append(*out, Violation{Path: path, Base: base, Fresh: fresh,
+				Why: fmt.Sprintf("slower than baseline by more than %.0f%%", opts.Tolerance*100)})
+		}
+	case ruleHigherBetter:
+		if fresh < base*(1-opts.Tolerance) {
+			*out = append(*out, Violation{Path: path, Base: base, Fresh: fresh,
+				Why: fmt.Sprintf("speedup shrank by more than %.0f%%", opts.Tolerance*100)})
+		}
+	case ruleStrictNoIncrease:
+		if fresh > base {
+			*out = append(*out, Violation{Path: path, Base: base, Fresh: fresh,
+				Why: key + " increased (strict: allocations are a property of the code, not the machine)"})
+		}
+	}
+}
+
+// entryID names an array element for matching and error paths.
+func entryID(m map[string]any) string {
+	if s, ok := m["name"].(string); ok {
+		return s
+	}
+	if s, ok := m["method"].(string); ok {
+		return s
+	}
+	return "?"
+}
+
+// findEntry locates the fresh array element with the same name/method.
+func findEntry(arr []any, id string) map[string]any {
+	for _, e := range arr {
+		if m, ok := e.(map[string]any); ok && entryID(m) == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// num coerces a JSON leaf to a float for Violation reporting.
+func num(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+	}
+	return 0
+}

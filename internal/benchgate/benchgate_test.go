@@ -1,0 +1,174 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// doc builds a small artifact in the BENCH_routing.json shape.
+func doc(ns, allocs float64, speedup float64, identical bool) string {
+	return `{
+  "generated_at": "2026-01-01T00:00:00Z",
+  "go_version": "go1.24.0",
+  "gomaxprocs": 1,
+  "routing": [
+    {"name": "tree_cached", "iterations": 1000, "ns_per_op": ` + f(ns) + `, "allocs_per_op": ` + f(allocs) + `, "bytes_per_op": 0}
+  ],
+  "decide": [
+    {"method": "mobirescue", "cached_ns_per_op": 100, "uncached_ns_per_op": 200, "speedup": ` + f(speedup) + `}
+  ],
+  "comparison": {"scale": "small", "seed": 1, "serial_seconds": 1.0, "parallel_seconds": 0.5, "parallel_speedup": 2.0, "results_identical": ` + b(identical) + `}
+}`
+}
+
+func b(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+func TestIdenticalArtifactsPass(t *testing.T) {
+	d := []byte(doc(100, 0, 1.5, true))
+	vs, err := Check(d, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("identical artifacts produced violations: %v", vs)
+	}
+}
+
+func TestCheckedInBaselinesSelfPass(t *testing.T) {
+	for _, name := range []string{"BENCH_routing.json", "BENCH_predict.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("reading checked-in baseline: %v", err)
+		}
+		vs, err := Check(data, data, Options{Portable: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(vs) != 0 {
+			t.Errorf("%s vs itself: violations %v", name, vs)
+		}
+	}
+}
+
+func TestSlowerNsPerOpFails(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(doc(120, 0, 1.5, true)) // +20% > 5% band
+	vs, err := Check(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "tree_cached") {
+		t.Fatalf("want one tree_cached violation, got %v", vs)
+	}
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(doc(104, 0, 1.5, true)) // +4% < 5% band
+	vs, err := Check(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("4%% slowdown inside 5%% band flagged: %v", vs)
+	}
+}
+
+func TestPortableSkipsTimings(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(doc(5000, 0, 1.5, true)) // 50x slower machine
+	vs, err := Check(base, fresh, Options{Portable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("portable mode compared wall-clock: %v", vs)
+	}
+}
+
+func TestAllocRegressionStrictEvenPortable(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(doc(100, 1, 1.5, true)) // 0 -> 1 alloc/op
+	for _, portable := range []bool{false, true} {
+		vs, err := Check(base, fresh, Options{Portable: portable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 1 || !strings.Contains(vs[0].Why, "allocs_per_op increased") {
+			t.Fatalf("portable=%v: want strict alloc violation, got %v", portable, vs)
+		}
+	}
+}
+
+func TestSpeedupShrinkFails(t *testing.T) {
+	base := []byte(doc(100, 0, 2.0, true))
+	fresh := []byte(doc(100, 0, 1.0, true))
+	vs, err := Check(base, fresh, Options{Portable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Why, "speedup shrank") {
+		t.Fatalf("want speedup violation, got %v", vs)
+	}
+}
+
+func TestBoolRegressionFails(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(doc(100, 0, 1.5, false))
+	vs, err := Check(base, fresh, Options{Portable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "results_identical") {
+		t.Fatalf("want results_identical violation, got %v", vs)
+	}
+}
+
+func TestMissingBenchmarkEntryFails(t *testing.T) {
+	base := []byte(doc(100, 0, 1.5, true))
+	fresh := []byte(`{"routing": [], "decide": [{"method": "mobirescue", "cached_ns_per_op": 100, "uncached_ns_per_op": 200, "speedup": 1.5}], "comparison": {"results_identical": true, "parallel_speedup": 2.0, "serial_seconds": 1.0, "parallel_seconds": 0.5}}`)
+	vs, err := Check(base, fresh, Options{Portable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Why, "entry missing") {
+		t.Fatalf("want missing-entry violation, got %v", vs)
+	}
+}
+
+func TestReorderedAndExtraEntriesPass(t *testing.T) {
+	base := []byte(`{"micro": [{"name": "a", "allocs_per_op": 0}, {"name": "b", "allocs_per_op": 1}]}`)
+	fresh := []byte(`{"micro": [{"name": "c", "allocs_per_op": 99}, {"name": "b", "allocs_per_op": 1}, {"name": "a", "allocs_per_op": 0}]}`)
+	vs, err := Check(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("reordered/extra entries flagged: %v", vs)
+	}
+}
+
+func TestNegativeToleranceRejected(t *testing.T) {
+	if _, err := Check([]byte(`{}`), []byte(`{}`), Options{Tolerance: -1}); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestMalformedJSONRejected(t *testing.T) {
+	if _, err := Check([]byte(`{`), []byte(`{}`), Options{}); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	if _, err := Check([]byte(`{}`), []byte(`nope`), Options{}); err == nil {
+		t.Fatal("malformed fresh artifact accepted")
+	}
+}

@@ -64,17 +64,20 @@ func (d *FaultyDispatcher) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duratio
 		cp.ActiveRequests = d.prev
 		view = &cp
 		d.in.met.stale.Inc()
+		d.in.emit("stale_snapshot")
 	} else if d.rng.Float64() < p.SenseDropProb && len(snap.ActiveRequests) > 0 {
 		keep := dropRequests(d.rng, snap.ActiveRequests, p.SenseDropFrac)
 		cp := *snap
 		cp.ActiveRequests = keep
 		view = &cp
 		d.in.met.drops.Inc()
+		d.in.emit("sense_drop")
 	}
 	d.prev = append([]sim.RequestState(nil), snap.ActiveRequests...)
 
 	if d.rng.Float64() < p.PanicProb {
 		d.in.met.panics.Inc()
+		d.in.emit("panic")
 		panic(fmt.Sprintf("chaos: injected dispatcher panic (round %d, method %s)", d.round, d.inner.Name()))
 	}
 
@@ -83,10 +86,12 @@ func (d *FaultyDispatcher) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duratio
 	if d.rng.Float64() < p.LatencySpikeProb && p.LatencySpikeMax > 0 {
 		delay += time.Duration(d.rng.Float64() * float64(p.LatencySpikeMax))
 		d.in.met.spikes.Inc()
+		d.in.emit("latency_spike")
 	}
 	if d.rng.Float64() < p.MalformedOrderProb && len(orders) > 0 {
 		orders = d.corrupt(orders)
 		d.in.met.malformed.Inc()
+		d.in.emit("malformed")
 	}
 	return orders, delay
 }

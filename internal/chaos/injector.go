@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 )
@@ -54,6 +55,7 @@ type Injector struct {
 	surges  []surge
 	faults  []sim.VehicleFault
 	met     chaosMetrics
+	ev      *eventlog.Recorder
 }
 
 // NewInjector precomputes the fault schedules for one simulation window
@@ -101,6 +103,36 @@ func (in *Injector) EnableMetrics(reg *obs.Registry) {
 		malformed: reg.Counter(MetricMalformedOrders, "Malformed orders injected."),
 		drops:     reg.Counter(MetricSenseDrops, "Active-request view drop faults injected."),
 		stale:     reg.Counter(MetricStaleSnapshots, "Stale-snapshot faults injected."),
+	}
+}
+
+// SetEvents attaches a flight-recorder stream: dispatcher/sensing
+// faults become typed events as they fire. A nil recorder (the default)
+// keeps every emission a single nil check. Call LogSchedule separately
+// to record the precomputed surge/breakdown schedules up front.
+func (in *Injector) SetEvents(rec *eventlog.Recorder) { in.ev = rec }
+
+// LogSchedule records the injector's precomputed schedules — one surge
+// event per flash flood (with its segment count and duration) — so the
+// log carries the planned perturbations before the run replays them.
+// Vehicle breakdowns are not pre-logged: the simulator emits a stall
+// fault at the instant each one is applied.
+func (in *Injector) LogSchedule(rec *eventlog.Recorder) {
+	if rec == nil {
+		return
+	}
+	for _, s := range in.surges {
+		rec.Emit(eventlog.Event{
+			Type: eventlog.TypeFault, Kind: "surge",
+			N: len(s.segments), DurMS: s.until.Sub(s.at).Milliseconds(), T: s.at,
+		})
+	}
+}
+
+// emit records one fired fault when a recorder is attached.
+func (in *Injector) emit(kind string) {
+	if in.ev != nil {
+		in.ev.Emit(eventlog.Event{Type: eventlog.TypeFault, Kind: kind})
 	}
 }
 

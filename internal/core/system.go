@@ -15,6 +15,7 @@ import (
 	"mobirescue/internal/ilp"
 	"mobirescue/internal/nn"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/rl"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
@@ -129,6 +130,8 @@ type System struct {
 	// (serial and parallel training plus any loaded checkpoint), recorded
 	// in checkpoint headers so warm-started runs stay cumulative.
 	trainedEpisodes uint64
+	// evlog is the optional flight recorder (see eventlog.go); nil off.
+	evlog *eventlog.Log
 }
 
 // NewSystem trains the SVM on the training episode and wires up the RL
@@ -323,10 +326,16 @@ func (s *System) SetChaos(p chaos.Profile, seed int64) error {
 // chaos profile configured, the day's fault schedules are derived from
 // (profile, ChaosSeed, window) and the dispatcher is wrapped in the
 // fault injector plus dispatch.Resilient.
-func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher) (*sim.Result, error) {
+// rec, when non-nil, receives the run's event stream: the simulator's
+// window/order/pickup events, the injector's fault events, and the
+// Resilient wrapper's fallback events all share the one per-run
+// recorder, which the caller appends to the shared log in logical
+// order.
+func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher, rec *eventlog.Recorder) (*sim.Result, error) {
 	ctx, daySpan := obs.StartSpan(ctx, "sim.day")
 	defer daySpan.End()
 	cfg := s.simConfigForDay(ep, day)
+	cfg.Events = rec
 	requests := RequestsForDay(ep, day)
 	starts, err := VehicleStarts(s.Scenario.City, s.Teams, s.Config.Seed)
 	if err != nil {
@@ -340,12 +349,15 @@ func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Disp
 			return nil, err
 		}
 		inj.EnableMetrics(s.Config.Metrics)
+		inj.SetEvents(rec)
+		inj.LogSchedule(rec)
 		// Surge closures layer under the rescue-crawl adapter so they
 		// stay visible to flood-aware routing as "closed".
 		base = inj.WrapCost(base)
 		cfg.VehicleFaults = inj.VehicleFaults()
 		resilient := dispatch.NewResilient(inj.WrapDispatcher(disp), dispatch.DefaultResilientConfig())
 		resilient.EnableMetrics(s.Config.Metrics)
+		resilient.SetEvents(rec)
 		disp = resilient
 	}
 	costProv := sim.RescueCostProvider{
@@ -383,7 +395,7 @@ func (s *System) TrainRL(episodes int) ([]float64, error) {
 	returns := make([]float64, 0, episodes)
 	for e := 0; e < episodes; e++ {
 		epCtx, epSpan := obs.StartSpan(ctx, "rl.episode")
-		res, err := s.runDay(epCtx, s.Scenario.Train, day, s.MR)
+		res, err := s.runDay(epCtx, s.Scenario.Train, day, s.MR, nil)
 		epSpan.End()
 		if err != nil {
 			return returns, fmt.Errorf("core: training episode %d: %w", e, err)
@@ -445,7 +457,10 @@ func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
 		}
 		disp := s.MR.ActorView(ap)
 		epCtx, epSpan := obs.StartSpan(ctx, "rl.actor_episode")
-		res, err := s.runDay(epCtx, s.Scenario.Train, day, disp)
+		// Rollouts record nothing per-window: concurrent training sims
+		// would interleave nondeterministically. The trainer's own
+		// train_round events carry the per-round telemetry instead.
+		res, err := s.runDay(epCtx, s.Scenario.Train, day, disp, nil)
 		epSpan.End()
 		if err != nil {
 			return nil, 0, err
@@ -453,6 +468,7 @@ func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
 		disp.EndEpisode()
 		return ap.Trajectory(), float64(res.TotalTimelyServed()), nil
 	}
+	trainRec := s.evlog.Recorder("train")
 	trainer, err := train.New(s.MR.Agent(), rollout, s.trainedEpisodes, train.Config{
 		Actors:          s.trainActors(),
 		Episodes:        episodes,
@@ -462,11 +478,13 @@ func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
 		CheckpointEvery: s.Config.CheckpointEvery,
 		Metrics:         s.Config.Metrics,
 		Logger:          s.Config.Logger,
+		Events:          trainRec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	stats, runErr := trainer.Run(ctx)
+	s.evlog.Append(trainRec)
 	s.trainedEpisodes = trainer.Episodes()
 	for _, r := range stats.Rewards {
 		s.trainEpisodes.Inc()
@@ -561,12 +579,25 @@ func (s *System) RunMethod(method string, episodes int) (*sim.Result, error) {
 	}
 }
 
-// runEvalDay runs one evaluation-day simulation under an eval.run span.
+// runEvalDay runs one evaluation-day simulation under an eval.run span,
+// recording into (and appending) its own flight-recorder stream. Only
+// safe for serial callers — concurrent runs must use runEvalDayRec and
+// append recorders in logical order themselves.
 func (s *System) runEvalDay(day int, disp sim.Dispatcher) (*sim.Result, error) {
+	rec := s.evlog.Recorder(disp.Name())
+	res, err := s.runEvalDayRec(day, disp, rec)
+	s.recordPredCache(rec)
+	s.evlog.Append(rec)
+	return res, err
+}
+
+// runEvalDayRec is runEvalDay recording into a caller-owned recorder;
+// the caller appends it to the log in logical order.
+func (s *System) runEvalDayRec(day int, disp sim.Dispatcher, rec *eventlog.Recorder) (*sim.Result, error) {
 	ctx, span := obs.StartSpan(s.ctx(), "eval.run."+disp.Name())
 	defer span.End()
 	s.evalDays.Inc()
-	return s.runDay(ctx, s.Scenario.Eval, day, disp)
+	return s.runDay(ctx, s.Scenario.Eval, day, disp, rec)
 }
 
 // newSchedule builds the Schedule baseline with the system's worker
@@ -595,13 +626,15 @@ func (s *System) RunDispatcher(disp sim.Dispatcher) (*sim.Result, error) {
 func (s *System) RunDispatcherDays(days []int, factory func(day int) (sim.Dispatcher, error)) ([]*sim.Result, error) {
 	results := make([]*sim.Result, len(days))
 	errs := make([]error, len(days))
+	recs := make([]*eventlog.Recorder, len(days))
 	run := func(i int) {
 		disp, err := factory(days[i])
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = s.runEvalDay(days[i], disp)
+		recs[i] = s.evlog.Recorder(fmt.Sprintf("%s/day%d", disp.Name(), days[i]))
+		results[i], errs[i] = s.runEvalDayRec(days[i], disp, recs[i])
 	}
 	workers := s.workers()
 	if workers > len(days) {
@@ -628,6 +661,12 @@ func (s *System) RunDispatcherDays(days []int, factory func(day int) (sim.Dispat
 			}()
 		}
 		wg.Wait()
+	}
+	// Logical order: recorders append in days order, never completion
+	// order — this is what keeps the event log byte-identical for any
+	// worker count.
+	for _, rec := range recs {
+		s.evlog.Append(rec)
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -661,9 +700,13 @@ func (s *System) RunComparison() (*Comparison, error) {
 	}
 	results := make([]*sim.Result, len(runs))
 	errs := make([]error, len(runs))
+	recs := make([]*eventlog.Recorder, len(runs))
+	for i := range runs {
+		recs[i] = s.evlog.Recorder(runs[i].name)
+	}
 	if s.workers() <= 1 {
 		for i := range runs {
-			results[i], errs[i] = s.runEvalDay(day, runs[i].disp)
+			results[i], errs[i] = s.runEvalDayRec(day, runs[i].disp, recs[i])
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -671,10 +714,14 @@ func (s *System) RunComparison() (*Comparison, error) {
 		for i := range runs {
 			go func(i int) {
 				defer wg.Done()
-				results[i], errs[i] = s.runEvalDay(day, runs[i].disp)
+				results[i], errs[i] = s.runEvalDayRec(day, runs[i].disp, recs[i])
 			}(i)
 		}
 		wg.Wait()
+	}
+	// Method order (the runs slice), never completion order.
+	for _, rec := range recs {
+		s.evlog.Append(rec)
 	}
 	for i, r := range runs {
 		if errs[i] != nil {

@@ -1,10 +1,12 @@
 package dispatch
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"mobirescue/internal/ilp"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/tsa"
 )
@@ -98,5 +100,78 @@ func BenchmarkDecideSchedule(b *testing.B) {
 		if orders, _ := s.Decide(snap); len(orders) == 0 {
 			b.Fatal("no orders")
 		}
+	}
+}
+
+// BenchmarkDecideEventLog measures the flight-recorder overhead around
+// one MobiRescue decision: the exact per-window emission sequence the
+// simulator performs (window_open, decide, one order event per kept
+// order, window_close). The acceptance bar is <5% regression of
+// enabled over disabled; disabled must be a nil check only (see
+// TestDecideEventLogDisabledZeroAlloc).
+func BenchmarkDecideEventLog(b *testing.B) {
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			city := testCity(b)
+			m, err := NewMobiRescue(city.NumRegions(), constPredict(benchPrediction(city)), DefaultMRConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			vehicles, reqs := benchSnapshot(b, city)
+			snap := testSnapshot(b, city, vehicles, reqs)
+			var rec *eventlog.Recorder
+			var l *eventlog.Log
+			if mode == "enabled" {
+				l, err = eventlog.New(io.Discard, eventlog.Manifest{Scale: "bench", Seed: 1}, eventlog.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = l.Recorder("bench")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.SetWindow(i + 1)
+				rec.Emit(eventlog.Event{Type: eventlog.TypeWindowOpen, Active: len(reqs)})
+				orders, delay := m.Decide(snap)
+				if len(orders) == 0 {
+					b.Fatal("no orders")
+				}
+				rec.Emit(eventlog.Event{Type: eventlog.TypeDecide, Method: m.Name(),
+					Active: len(reqs), Orders: len(orders), DelayMS: delay.Milliseconds()})
+				for _, o := range orders {
+					rec.Emit(eventlog.Event{Type: eventlog.TypeOrder, Vehicle: int(o.Vehicle), Target: int(o.Target), ToDepot: o.ToDepot})
+				}
+				rec.Emit(eventlog.Event{Type: eventlog.TypeWindowClose, Orders: len(orders), Serving: len(orders)})
+				if i%288 == 287 { // flush once per simulated day, the real cadence
+					l.Append(rec)
+				}
+			}
+			if l != nil {
+				b.StopTimer()
+				l.Append(rec)
+				if err := l.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDecideEventLogDisabledZeroAlloc pins the "disabled recording is
+// free" half of the eventlog contract at the dispatch layer: the full
+// per-window emission sequence against a nil recorder must not
+// allocate at all.
+func TestDecideEventLogDisabledZeroAlloc(t *testing.T) {
+	var rec *eventlog.Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.SetWindow(1)
+		rec.Emit(eventlog.Event{Type: eventlog.TypeWindowOpen, Active: 9})
+		rec.Emit(eventlog.Event{Type: eventlog.TypeDecide, Method: "MobiRescue", Active: 9, Orders: 4, DelayMS: 400})
+		rec.Emit(eventlog.Event{Type: eventlog.TypeOrder, Vehicle: 1, Target: 7})
+		rec.Emit(eventlog.Event{Type: eventlog.TypeWindowClose, Orders: 4, Serving: 4})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit path allocated %.1f per window, want 0", allocs)
 	}
 }

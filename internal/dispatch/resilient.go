@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 )
@@ -71,6 +72,7 @@ type decideResult struct {
 	orders []sim.Order
 	delay  time.Duration
 	err    error
+	kind   string // failure kind for the flight recorder: "panic"/"timeout"
 }
 
 // Resilient hardens any sim.Dispatcher: it recovers injected or
@@ -91,12 +93,13 @@ type Resilient struct {
 	primary sim.Dispatcher
 	cfg     ResilientConfig
 	met     resilientMetrics
+	ev      *eventlog.Recorder
 
-	failures int                // consecutive primary failures
-	skip     int                // fallback-only rounds remaining
-	backoff  int                // current backoff length in rounds
-	inflight chan decideResult  // non-nil while a timed-out call runs
-	lastErr  error              // most recent primary failure
+	failures int               // consecutive primary failures
+	skip     int               // fallback-only rounds remaining
+	backoff  int               // current backoff length in rounds
+	inflight chan decideResult // non-nil while a timed-out call runs
+	lastErr  error             // most recent primary failure
 }
 
 var _ sim.Dispatcher = (*Resilient)(nil)
@@ -134,6 +137,11 @@ func (r *Resilient) Primary() sim.Dispatcher { return r.primary }
 // primary has never failed or has recovered).
 func (r *Resilient) LastError() error { return r.lastErr }
 
+// SetEvents attaches a flight-recorder stream: fallback rounds and
+// sanitization drops become typed events. A nil recorder (the default)
+// keeps every emission a single nil check.
+func (r *Resilient) SetEvents(rec *eventlog.Recorder) { r.ev = rec }
+
 // EnableMetrics registers the wrapper's counters with reg, labeled by
 // the primary method's name. A nil registry is a no-op.
 func (r *Resilient) EnableMetrics(reg *obs.Registry) {
@@ -163,7 +171,7 @@ func (r *Resilient) EnableMetrics(reg *obs.Registry) {
 func (r *Resilient) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	if r.skip > 0 {
 		r.skip--
-		return r.fallbackRound(snap)
+		return r.fallbackRound(snap, "backoff")
 	}
 	if r.inflight != nil {
 		// A previous call is still running; the primary is not safe to
@@ -173,14 +181,14 @@ func (r *Resilient) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 			r.inflight = nil
 		default:
 			r.fail(fmt.Errorf("dispatch: primary %s still busy from a previous round", r.Name()))
-			return r.fallbackRound(snap)
+			return r.fallbackRound(snap, "busy")
 		}
 	}
 
 	res := r.callPrimary(snap)
 	if res.err != nil {
 		r.fail(res.err)
-		return r.fallbackRound(snap)
+		return r.fallbackRound(snap, res.kind)
 	}
 	if r.failures > 0 {
 		r.met.recoveries.Inc()
@@ -216,7 +224,10 @@ func (r *Resilient) callPrimary(snap *sim.Snapshot) decideResult {
 	case <-timer.C:
 		r.inflight = ch
 		r.met.timeouts.Inc()
-		return decideResult{err: fmt.Errorf("dispatch: primary %s exceeded %v deadline", r.primary.Name(), r.cfg.DecideTimeout)}
+		return decideResult{
+			err:  fmt.Errorf("dispatch: primary %s exceeded %v deadline", r.primary.Name(), r.cfg.DecideTimeout),
+			kind: "timeout",
+		}
 	}
 }
 
@@ -235,11 +246,16 @@ func (r *Resilient) fail(err error) {
 	}
 }
 
-// fallbackRound serves one round from the fallback policy.
-func (r *Resilient) fallbackRound(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
+// fallbackRound serves one round from the fallback policy, recording
+// why the primary was bypassed.
+func (r *Resilient) fallbackRound(snap *sim.Snapshot, kind string) ([]sim.Order, time.Duration) {
 	r.met.fallbacks.Inc()
 	orders, delay := r.cfg.Fallback.Decide(snap)
-	return r.Sanitize(snap, orders), delay
+	orders = r.Sanitize(snap, orders)
+	if r.ev != nil {
+		r.ev.Emit(eventlog.Event{Type: eventlog.TypeFallback, Kind: kind, Orders: len(orders)})
+	}
+	return orders, delay
 }
 
 // civilianBase unwraps the rescue-crawl adapter so closures are judged
@@ -283,15 +299,18 @@ func (r *Resilient) Sanitize(snap *sim.Snapshot, orders []sim.Order) []sim.Order
 	for _, o := range orders {
 		if !valid[o.Vehicle] {
 			r.met.dropVehicle.Inc()
+			r.reject("bad_vehicle", o.Vehicle)
 			continue
 		}
 		if seen[o.Vehicle] {
 			r.met.dropDup.Inc()
+			r.reject("duplicate", o.Vehicle)
 			continue
 		}
 		if !o.ToDepot {
 			if int(o.Target) < 0 || int(o.Target) >= g.NumSegments() {
 				r.met.dropTarget.Inc()
+				r.reject("bad_target", o.Vehicle)
 				continue
 			}
 			s := g.Segment(o.Target)
@@ -299,6 +318,7 @@ func (r *Resilient) Sanitize(snap *sim.Snapshot, orders []sim.Order) []sim.Order
 				remap := bestOpenSegmentInRegion(snap, base, s.Region)
 				if remap == roadnet.NoSegment {
 					r.met.dropClosed.Inc()
+					r.reject("closed_no_remap", o.Vehicle)
 					continue
 				}
 				o.Target = remap
@@ -310,4 +330,11 @@ func (r *Resilient) Sanitize(snap *sim.Snapshot, orders []sim.Order) []sim.Order
 		out = append(out, o)
 	}
 	return out
+}
+
+// reject records one sanitization drop in the flight recorder.
+func (r *Resilient) reject(kind string, v sim.VehicleID) {
+	if r.ev != nil {
+		r.ev.Emit(eventlog.Event{Type: eventlog.TypeOrderReject, Kind: kind, Vehicle: int(v)})
+	}
 }

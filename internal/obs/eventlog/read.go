@@ -1,0 +1,89 @@
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reading is offline analysis, not a hot path, so the decode side uses
+// encoding/json: the hand-rolled encoder exists for byte-determinism,
+// and standard decoding proves the stream stays plain JSONL.
+
+// Record is one decoded log line paired with its raw bytes (the raw
+// form is what diff compares — byte-identity is the contract).
+type Record struct {
+	Event
+	Line int    // 1-based line number in the file
+	Raw  string // the exact encoded line, without trailing newline
+}
+
+// RunLog is a fully decoded event log.
+type RunLog struct {
+	Manifest Manifest
+	Events   []Record
+}
+
+// manifestLine mirrors the manifest record's wire form.
+type manifestLine struct {
+	EV string `json:"ev"`
+	Manifest
+}
+
+// Read decodes an event log from r. The first record must be a manifest
+// with a schema version this build understands.
+func Read(r io.Reader) (*RunLog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	rl := &RunLog{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if raw == "" {
+			continue
+		}
+		if line == 1 {
+			var m manifestLine
+			if err := json.Unmarshal([]byte(raw), &m); err != nil {
+				return nil, fmt.Errorf("eventlog: line 1: %w", err)
+			}
+			if m.EV != string(TypeManifest) {
+				return nil, fmt.Errorf("eventlog: first record is %q, want manifest", m.EV)
+			}
+			if m.Version > Version {
+				return nil, fmt.Errorf("eventlog: schema version %d newer than supported %d", m.Version, Version)
+			}
+			rl.Manifest = m.Manifest
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %w", line, err)
+		}
+		rl.Events = append(rl.Events, Record{Event: e, Line: line, Raw: raw})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("eventlog: empty log")
+	}
+	return rl, nil
+}
+
+// ReadFile decodes the event log at path.
+func ReadFile(path string) (*RunLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	defer f.Close()
+	rl, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return rl, nil
+}

@@ -461,13 +461,25 @@ func (r *Registry) Snapshot() map[string]any {
 				out[key] = map[string]any{
 					"count": e.hist.Count(),
 					"sum":   e.hist.Sum(),
-					"p50":   e.hist.Quantile(0.50),
-					"p99":   e.hist.Quantile(0.99),
+					"p50":   jsonSafe(e.hist.Quantile(0.50)),
+					"p99":   jsonSafe(e.hist.Quantile(0.99)),
 				}
 			}
 		}
 	}
 	return out
+}
+
+// jsonSafe renders non-finite quantile estimates (+Inf when the mass
+// sits in the overflow bucket, NaN when empty) as strings: expvar
+// serializes the snapshot with encoding/json, which rejects non-finite
+// floats — one +Inf p99 would otherwise corrupt the whole /debug/vars
+// document.
+func jsonSafe(v float64) any {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return formatFloat(v)
+	}
+	return v
 }
 
 // PublishExpvar publishes the registry under the given expvar name

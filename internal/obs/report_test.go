@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// seededRegistry builds a registry with one of each metric kind at
+// known values, so exposition tests can assert exact content.
+func seededRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("rpt_decisions_total", "Decisions made.", L("method", "mr")).Add(42)
+	r.Gauge("rpt_active_requests", "Active requests.").Set(7.5)
+	h := r.Histogram("rpt_decide_seconds", "Decide latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	return r
+}
+
+func TestWriteReportContent(t *testing.T) {
+	reg := seededRegistry()
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx2, root := StartSpan(ctx, "comparison")
+	_, child := StartSpan(ctx2, "run_day")
+	child.End()
+	root.End()
+
+	var sb strings.Builder
+	WriteReport(&sb, reg, tr)
+	out := sb.String()
+	for _, want := range []string{
+		"== spans (count × total / mean) ==",
+		"comparison",
+		"run_day",
+		"== metrics ==",
+		`rpt_decisions_total{method="mr"}`,
+		"rpt_active_requests",
+		"7.5",
+		"count=3 sum=3.55", // histogram summary line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Span section indentation: child spans nest under their parent.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "run_day") && i > 0 {
+			if !strings.Contains(lines[i-1], "comparison") {
+				t.Errorf("run_day not nested under comparison:\n%s", out)
+			}
+		}
+	}
+}
+
+// Nil or empty inputs drop their sections instead of printing headers
+// over nothing.
+func TestWriteReportNilAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteReport(&sb, nil, nil)
+	if sb.String() != "" {
+		t.Errorf("nil report wrote %q", sb.String())
+	}
+	sb.Reset()
+	WriteReport(&sb, nil, NewTracer()) // tracer with no spans
+	if strings.Contains(sb.String(), "== spans") {
+		t.Errorf("span header printed for empty tracer: %q", sb.String())
+	}
+	sb.Reset()
+	WriteReport(&sb, NewRegistry(), nil)
+	if !strings.Contains(sb.String(), "== metrics ==") {
+		t.Errorf("metrics header missing: %q", sb.String())
+	}
+}
+
+// The /metrics endpoint must serve the exact Prometheus text exposition
+// for a seeded registry — golden, not substring, so format drift is
+// caught.
+func TestServerMetricsGolden(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", seededRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := `# HELP rpt_active_requests Active requests.
+# TYPE rpt_active_requests gauge
+rpt_active_requests 7.5
+# HELP rpt_decide_seconds Decide latency.
+# TYPE rpt_decide_seconds histogram
+rpt_decide_seconds_bucket{le="0.1"} 1
+rpt_decide_seconds_bucket{le="1"} 2
+rpt_decide_seconds_bucket{le="+Inf"} 3
+rpt_decide_seconds_sum 3.55
+rpt_decide_seconds_count 3
+# HELP rpt_decisions_total Decisions made.
+# TYPE rpt_decisions_total counter
+rpt_decisions_total{method="mr"} 42
+`
+	if string(body) != want {
+		t.Errorf("/metrics exposition mismatch:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
+// The /debug/vars endpoint must expose the published registry snapshot:
+// counters as integers, gauges as floats, histograms as
+// count/sum/p50/p99 objects.
+func TestServerExpvarContent(t *testing.T) {
+	reg := seededRegistry()
+	reg.PublishExpvar("report_test_reg")
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars["report_test_reg"]
+	if !ok {
+		t.Fatal("/debug/vars missing published registry")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap[`rpt_decisions_total{method="mr"}`].(float64); !ok || v != 42 {
+		t.Errorf("counter in expvar = %v", snap[`rpt_decisions_total{method="mr"}`])
+	}
+	if v, ok := snap["rpt_active_requests"].(float64); !ok || v != 7.5 {
+		t.Errorf("gauge in expvar = %v", snap["rpt_active_requests"])
+	}
+	hist, ok := snap["rpt_decide_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram in expvar = %v", snap["rpt_decide_seconds"])
+	}
+	if hist["count"].(float64) != 3 || hist["sum"].(float64) != 3.55 {
+		t.Errorf("histogram snapshot = %v", hist)
+	}
+	if _, ok := hist["p50"]; !ok {
+		t.Errorf("histogram snapshot missing p50: %v", hist)
+	}
+}

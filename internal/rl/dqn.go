@@ -83,20 +83,21 @@ func DefaultDQNConfig() DQNConfig {
 // exportable-state RNG so SaveCheckpoint/LoadCheckpoint can resume a
 // training run byte-identically.
 type DQN struct {
-	cfg     DQNConfig
-	online  *nn.Network
-	target  *nn.Network
-	opt     *nn.Adam
-	replay  *Replay
-	rng     *RNG
-	grad    []float64
-	scratch []float64 // flat nn.ForwardInto buffer for the action/learn hot loops
-	dOut    []float64
-	batch   []Transition
-	steps   int // environment steps observed
-	learnN  int // learning steps taken
-	nAction int
-	met     dqnMetrics
+	cfg      DQNConfig
+	online   *nn.Network
+	target   *nn.Network
+	opt      *nn.Adam
+	replay   *Replay
+	rng      *RNG
+	grad     []float64
+	scratch  []float64 // flat nn.ForwardInto buffer for the action/learn hot loops
+	dOut     []float64
+	batch    []Transition
+	steps    int     // environment steps observed
+	learnN   int     // learning steps taken
+	lastLoss float64 // mean squared TD error of the last minibatch
+	nAction  int
+	met      dqnMetrics
 }
 
 var _ Policy = (*DQN)(nil)
@@ -221,8 +222,9 @@ func (d *DQN) learn() {
 	nn.ClipGradient(d.grad, d.cfg.GradClip)
 	d.opt.Step(d.online.Params(), d.grad)
 	d.learnN++
+	d.lastLoss = lossSum / float64(len(d.batch))
 	d.met.learnSteps.Inc()
-	d.met.batchLoss.Set(lossSum / float64(len(d.batch)))
+	d.met.batchLoss.Set(d.lastLoss)
 	if d.cfg.TargetSync > 0 && d.learnN%d.cfg.TargetSync == 0 {
 		d.target.SetParams(d.online.Params())
 	}
@@ -293,3 +295,8 @@ func (d *DQN) LoadPolicy(r io.Reader) error {
 
 // Steps returns the number of transitions observed.
 func (d *DQN) Steps() int { return d.steps }
+
+// LastLoss returns the mean squared TD error of the most recent
+// learning minibatch (0 before the first learn step). The training
+// pipeline's flight recorder reads it per round.
+func (d *DQN) LastLoss() float64 { return d.lastLoss }

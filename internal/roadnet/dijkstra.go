@@ -51,6 +51,7 @@ type Router struct {
 
 	cache treeCache
 	met   routerMetrics
+	stats *CacheStats // optional local hit/miss tally (TrackCache)
 }
 
 // NewRouter returns a Router over g using cost. A nil cost defaults to

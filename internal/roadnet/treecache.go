@@ -141,6 +141,9 @@ func (r *Router) CachedTree(src LandmarkID) *Tree {
 		t := e.tree
 		e.mu.Unlock()
 		r.met.hits.Inc()
+		if r.stats != nil {
+			r.stats.Hits.Add(1)
+		}
 		return t
 	}
 	// Miss: compute a brand-new tree (never reuse e.tree's storage — a
@@ -155,6 +158,9 @@ func (r *Router) CachedTree(src LandmarkID) *Tree {
 	e.epoch = epoch
 	e.mu.Unlock()
 	r.met.misses.Inc()
+	if r.stats != nil {
+		r.stats.Misses.Add(1)
+	}
 	return t
 }
 

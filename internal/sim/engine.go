@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 )
 
@@ -64,6 +65,18 @@ type Simulator struct {
 	res ResilienceStats
 	met simMetrics
 	log *slog.Logger
+
+	// Flight recorder (nil = disabled). window is the 1-based dispatch
+	// round counter; servedCnt mirrors the cumulative pickup count so
+	// window_close can report served-so-far without an O(requests) scan.
+	ev        *eventlog.Recorder
+	window    int
+	servedCnt int
+	// cstats tracks the router's tree-cache hits/misses locally when
+	// recording, so decide events can carry per-window deltas; last*
+	// hold the totals at the previous decide.
+	cstats               *roadnet.CacheStats
+	lastHits, lastMisses int64
 }
 
 // timedOrders are dispatcher orders waiting out the computation delay.
@@ -102,6 +115,10 @@ func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []
 		now:         cfg.Start,
 		met:         newSimMetrics(cfg.Metrics, disp.Name()),
 		log:         cfg.Logger,
+		ev:          cfg.Events,
+	}
+	if s.ev != nil {
+		s.cstats = &roadnet.CacheStats{}
 	}
 	s.requests = make([]RequestOutcome, 0, len(requests))
 	for _, r := range requests {
@@ -149,6 +166,7 @@ func (s *Simulator) refreshCost() {
 		s.router = roadnet.NewRouter(s.city.Graph, s.cost)
 		s.router.SetWorkers(s.cfg.Workers)
 		s.router.EnableMetrics(s.cfg.Metrics)
+		s.router.TrackCache(s.cstats)
 	} else {
 		s.router.Rebind(s.cost)
 	}
@@ -165,6 +183,12 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	ctx, runSpan := obs.StartSpan(ctx, "sim.run")
 	defer runSpan.End()
+	if s.ev != nil {
+		s.ev.Emit(eventlog.Event{
+			Type: eventlog.TypeRunStart, Run: s.ev.Run(),
+			Method: s.disp.Name(), T: s.cfg.Start, N: len(s.requests),
+		})
+	}
 	end := s.cfg.Start.Add(s.cfg.Duration)
 	nextRound := s.cfg.Start
 	for s.now.Before(end) {
@@ -185,6 +209,12 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			}
 			s.res.VehicleStalls++
 			s.met.stalls.Inc()
+			if s.ev != nil {
+				s.ev.Emit(eventlog.Event{
+					Type: eventlog.TypeFault, Kind: "stall",
+					Vehicle: int(f.Vehicle), DurMS: f.Duration.Milliseconds(), T: s.now,
+				})
+			}
 			if s.log != nil {
 				s.log.Debug("vehicle breakdown", "vehicle", f.Vehicle, "t", s.now, "duration", f.Duration)
 			}
@@ -238,6 +268,13 @@ func (s *Simulator) finishRun(res *Result) {
 	s.met.served.Add(served)
 	s.met.timely.Add(timely)
 	s.met.unserved.Add(unserved)
+	if s.ev != nil {
+		s.ev.SetWindow(0) // run summary is not a window event
+		s.ev.Emit(eventlog.Event{
+			Type: eventlog.TypeRunEnd, Run: s.ev.Run(), Method: res.Method,
+			Served: int(served), Timely: int(timely), Unserved: int(unserved),
+		})
+	}
 	if s.log != nil {
 		s.log.Info("run complete",
 			"method", res.Method,
@@ -281,6 +318,13 @@ func (s *Simulator) round(ctx context.Context) {
 	sort.Slice(snap.ActiveRequests, func(i, j int) bool {
 		return snap.ActiveRequests[i].ID < snap.ActiveRequests[j].ID
 	})
+	if s.ev != nil {
+		s.window++
+		s.ev.SetWindow(s.window)
+		s.ev.Emit(eventlog.Event{
+			Type: eventlog.TypeWindowOpen, T: s.now, Active: len(snap.ActiveRequests),
+		})
+	}
 	_, decideSpan := obs.StartSpan(ctx, "dispatch.decide")
 	decideStart := time.Now()
 	orders, delay := s.disp.Decide(snap)
@@ -310,6 +354,33 @@ func (s *Simulator) round(ctx context.Context) {
 	}
 	s.rounds = append(s.rounds, RoundStat{Time: s.now, Serving: len(servingSet)})
 	s.met.serving.Set(float64(len(servingSet)))
+	if s.ev != nil {
+		// Tree-cache activity attributed to this window: everything since
+		// the previous decide (includes this window's reroute repairs and
+		// the dispatcher's own routing).
+		hits, misses := s.cstats.Totals()
+		e := eventlog.Event{
+			Type: eventlog.TypeDecide, Method: s.disp.Name(),
+			Active: len(snap.ActiveRequests), Orders: len(orders),
+			DelayMS: delay.Milliseconds(),
+			Hits:    hits - s.lastHits, Misses: misses - s.lastMisses,
+		}
+		s.lastHits, s.lastMisses = hits, misses
+		if s.ev.Timing() {
+			e.LatencyNS = time.Since(decideStart).Nanoseconds()
+		}
+		s.ev.Emit(e)
+		for _, o := range orders {
+			s.ev.Emit(eventlog.Event{
+				Type: eventlog.TypeOrder, Vehicle: int(o.Vehicle),
+				Target: int(o.Target), ToDepot: o.ToDepot,
+			})
+		}
+		s.ev.Emit(eventlog.Event{
+			Type: eventlog.TypeWindowClose, Orders: len(orders),
+			Serving: len(servingSet), Served: s.servedCnt,
+		})
+	}
 	if s.log != nil {
 		s.log.Debug("dispatch round",
 			"method", s.disp.Name(),
@@ -335,17 +406,25 @@ func (s *Simulator) sanitizeOrders(orders []Order) []Order {
 	}
 	kept := orders[:0]
 	seen := make(map[VehicleID]bool, len(orders))
+	reject := func(kind string, v VehicleID) {
+		if s.ev != nil {
+			s.ev.Emit(eventlog.Event{Type: eventlog.TypeOrderReject, Kind: kind, Vehicle: int(v)})
+		}
+	}
 	for _, o := range orders {
 		switch {
 		case int(o.Vehicle) < 0 || int(o.Vehicle) >= len(s.vehicles):
 			s.res.OrdersRejectedBadVehicle++
 			s.met.rejectedVehicle.Inc()
+			reject("bad_vehicle", o.Vehicle)
 		case !o.ToDepot && (int(o.Target) < 0 || int(o.Target) >= s.city.Graph.NumSegments()):
 			s.res.OrdersRejectedBadTarget++
 			s.met.rejectedTarget.Inc()
+			reject("bad_target", o.Vehicle)
 		case seen[o.Vehicle]:
 			s.res.OrdersRejectedDuplicate++
 			s.met.rejectedDuplicate.Inc()
+			reject("duplicate", o.Vehicle)
 		default:
 			seen[o.Vehicle] = true
 			kept = append(kept, o)
@@ -397,11 +476,20 @@ func (s *Simulator) rerouteVehicles() {
 		if s.repairRoute(v) {
 			s.res.Reroutes++
 			s.met.reroutes.Inc()
+			if s.ev != nil {
+				s.ev.Emit(eventlog.Event{Type: eventlog.TypeReroute, Kind: "repair", Vehicle: int(v.id)})
+			}
 			continue
 		}
 		// Stranded: no route to the original destination survives.
 		s.res.StrandedDiverts++
 		s.met.diverts.Inc()
+		if s.ev != nil {
+			s.ev.Emit(eventlog.Event{
+				Type: eventlog.TypeReroute, Kind: "divert",
+				Vehicle: int(v.id), ToDepot: len(v.onboard) == 0,
+			})
+		}
 		if len(v.onboard) > 0 {
 			s.startDelivery(v) // nearest reachable hospital, retried each step
 			continue
@@ -661,6 +749,12 @@ func (s *Simulator) tryPickup(v *vehicle) bool {
 		v.onboard = append(v.onboard, i)
 		v.served++
 		picked++
+		s.servedCnt++
+		if s.ev != nil {
+			s.ev.Emit(eventlog.Event{
+				Type: eventlog.TypePickup, Vehicle: int(v.id), Request: int(r.ID), T: s.now,
+			})
+		}
 	}
 	if len(rest) == 0 {
 		delete(s.activeBySeg, v.pos.Seg)
@@ -726,6 +820,9 @@ func (s *Simulator) dropoff(v *vehicle) {
 	}
 	n := len(v.onboard)
 	s.met.dropoffs.Add(int64(n))
+	if s.ev != nil && n > 0 {
+		s.ev.Emit(eventlog.Event{Type: eventlog.TypeDropoff, Vehicle: int(v.id), N: n, T: s.now})
+	}
 	v.onboard = v.onboard[:0]
 	if s.cfg.DropTime > 0 && n > 0 {
 		v.phase = PhaseDwell

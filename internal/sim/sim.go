@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 )
 
@@ -235,6 +236,13 @@ type Config struct {
 	// Logger, when non-nil, receives structured per-round debug records
 	// and an end-of-run summary. Nil disables logging entirely.
 	Logger *slog.Logger
+	// Events, when non-nil, receives the run's flight-recorder event
+	// stream (window open/close, decide, order lifecycle, faults,
+	// reroutes — see internal/obs/eventlog). The recorder belongs to
+	// this run alone; the caller appends it to the shared log in
+	// logical order. Nil — the default — disables recording at zero
+	// cost (every emit is a single nil check).
+	Events *eventlog.Recorder
 }
 
 // DefaultConfig returns the paper's evaluation settings.

@@ -40,6 +40,7 @@ import (
 
 	"mobirescue/internal/nn"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/rl"
 )
 
@@ -102,6 +103,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger, when non-nil, receives per-round structured records.
 	Logger *slog.Logger
+	// Events, when non-nil, receives one flight-recorder train_round
+	// event per round (episodes, mean reward, epsilon, transitions,
+	// learner loss) and a checkpoint event per checkpoint write. The
+	// trainer emits from the learner goroutine only, so the stream is
+	// deterministic for any Workers value. Nil — the default — is free.
+	Events *eventlog.Recorder
 }
 
 // Stats summarizes a training run.
@@ -288,6 +295,7 @@ func (t *Trainer) runRound(ctx context.Context, round, n int, stats *Stats) erro
 	nextApply := 0
 	var firstErr error
 	roundSum := 0.0
+	roundTransitions := 0
 	for received := 0; received < n; received++ {
 		r := <-results
 		pending[r.actor] = r
@@ -318,6 +326,7 @@ func (t *Trainer) runRound(ctx context.Context, round, n int, stats *Stats) erro
 			stats.Rewards = append(stats.Rewards, rr.reward)
 			stats.Episodes++
 			stats.Transitions += len(rr.traj)
+			roundTransitions += len(rr.traj)
 			atomic.AddUint64(&t.episodes, 1)
 			roundSum += rr.reward
 		}
@@ -328,6 +337,19 @@ func (t *Trainer) runRound(ctx context.Context, round, n int, stats *Stats) erro
 		return firstErr
 	}
 	t.met.roundReward.Set(roundSum / float64(n))
+	if t.cfg.Events != nil {
+		e := eventlog.Event{
+			Type: eventlog.TypeTrainRound, Round: round + 1,
+			Episodes: n, Transitions: roundTransitions,
+			Reward: roundSum / float64(n), Epsilon: epsilon,
+		}
+		// The Learner interface stays minimal; learners that track their
+		// last minibatch loss (rl.DQN) surface it in the event.
+		if ll, ok := t.learner.(interface{ LastLoss() float64 }); ok {
+			e.Loss = ll.LastLoss()
+		}
+		t.cfg.Events.Emit(e)
+	}
 	return nil
 }
 
@@ -340,6 +362,12 @@ func (t *Trainer) checkpoint(stats *Stats) error {
 	t.met.ckptSecs.ObserveSince(ckptStart)
 	t.met.checkpoints.Inc()
 	stats.Checkpoints++
+	if t.cfg.Events != nil {
+		t.cfg.Events.Emit(eventlog.Event{
+			Type: eventlog.TypeCheckpoint, Round: stats.Rounds,
+			Path: t.cfg.CheckpointPath,
+		})
+	}
 	if t.cfg.Logger != nil {
 		t.cfg.Logger.Debug("checkpoint written",
 			slog.String("path", t.cfg.CheckpointPath),
