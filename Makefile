@@ -1,14 +1,14 @@
 # MobiRescue build/test entry points. `make ci` is the default gate:
 # tier-1 verify (vet + build + test) plus the event-log
 # determinism/bench-gate smoke. CI runs the same pieces as separate
-# jobs (`verify`, `eventlog-smoke`) alongside `make race`, which runs
-# the full suite — including the chaos and resilience tests, whose
-# goroutine-per-Decide wrapper is exactly where races would hide —
-# under the race detector.
+# jobs (`verify`, `eventlog-smoke`, `crash-smoke`) alongside
+# `make race`, which runs the full suite — including the chaos and
+# resilience tests, whose goroutine-per-Decide wrapper is exactly where
+# races would hide — under the race detector.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke eventlog-smoke fuzz cover verify ci clean
+.PHONY: all build vet test race bench bench-smoke eventlog-smoke crash-smoke fuzz cover verify ci clean
 
 all: ci race
 
@@ -88,6 +88,17 @@ eventlog-smoke:
 	$(GO) run ./cmd/analyze timeline eventlog_a.jsonl >/dev/null
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_routing.json -fresh BENCH_routing.json
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_predict.json -fresh BENCH_predict.json
+
+# Kill -9 fuzz over the crash-safe run machinery (internal/snapshot):
+# one uninterrupted reference run, then kill/resume cycles until at
+# least 10 SIGKILLs have landed — every cycle must finish with an event
+# log byte-identical to the reference — then truncation and bit-flip
+# drills that damage the newest snapshot and require fallback to the
+# previous valid generation. The kill schedule is seeded, so a failure
+# reproduces with the same flags. See cmd/crashtest.
+crash-smoke:
+	$(GO) build -o crashtest_mobirescue ./cmd/mobirescue
+	$(GO) run ./cmd/crashtest -bin crashtest_mobirescue
 
 verify: vet build test
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-eventlog f] [-eventlog-timing] [-obs addr] [-cpuprofile f] [-memprofile f]
+//	experiments [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-fig all|9|...|16] [-chaos profile] [-chaos-seed S] [-eventlog f] [-eventlog-timing] [-decide-deadline d] [-snapshot-dir d] [-snapshot-every N] [-snapshot-keep K] [-resume] [-obs addr] [-cpuprofile f] [-memprofile f]
 //
 // RL training uses the parallel actor–learner pipeline: -train-actors
 // logical actors (default 4) roll out under the -train-workers
@@ -25,6 +25,20 @@
 // after the fault-free pass and prints each method's degradation
 // (resilience report); the same -chaos-seed reproduces the same run.
 //
+// -snapshot-dir makes the expensive training phase crash-safe: a
+// checksummed snapshot is installed after every -snapshot-every-th
+// training round (keeping the newest -snapshot-keep), and -resume with
+// the same flags continues from the latest valid one with a
+// byte-identical -eventlog stream. The three-method comparison is not
+// snapshotted mid-run: a resume after training re-executes it in full,
+// deterministically. SIGINT/SIGTERM request a graceful stop — the run
+// finishes its current round, installs a final snapshot, flushes the
+// event log, and exits with code 3. A resume of a finished run (the
+// terminal snapshot says so) exits 0 without re-running anything.
+// -decide-deadline overrides the resilient dispatcher's per-round
+// Decide deadline (0 keeps the 5s default); expirations emit a typed
+// "deadline" event.
+//
 // The binary always collects metrics and spans and prints an end-of-run
 // report (top spans, key counters) on stderr. With -obs it additionally
 // serves /metrics, /healthz, /debug/vars and /debug/pprof/* live during
@@ -33,12 +47,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"mobirescue/internal/chaos"
@@ -46,6 +62,7 @@ import (
 	"mobirescue/internal/obs"
 	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/sim"
+	"mobirescue/internal/snapshot"
 	"mobirescue/internal/stats"
 )
 
@@ -66,6 +83,11 @@ func main() {
 		loadPol  = flag.String("load-policy", "", "warm-start the policy from this checkpoint before training")
 		evlogF   = flag.String("eventlog", "", "record the flight-recorder event stream (JSONL) to this file")
 		evlogT   = flag.Bool("eventlog-timing", false, "include wall-clock fields in -eventlog (breaks cross-run byte-identity)")
+		decideDl = flag.Duration("decide-deadline", 0, "resilient dispatcher per-round Decide deadline (0 = default 5s); expirations emit a typed deadline event")
+		snapDir  = flag.String("snapshot-dir", "", "install crash-safe snapshots of the training phase in this directory (see -resume)")
+		snapEv   = flag.Int("snapshot-every", 1, "snapshot cadence in training rounds (with -snapshot-dir)")
+		snapKeep = flag.Int("snapshot-keep", snapshot.DefaultKeep, "newest snapshots to keep in -snapshot-dir")
+		resume   = flag.Bool("resume", false, "resume from the latest valid snapshot in -snapshot-dir (same flags as the original run)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -104,23 +126,79 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
+	sys.Config.DecideTimeout = *decideDl
 	defer obs.WriteReport(os.Stderr, reg, tracer)
+
+	// Durability: snapshots cover the training phase; the comparison
+	// re-executes deterministically on resume. Training snapshots are
+	// keyed to the MobiRescue method, matching RunMethodDurable's.
+	var (
+		durable core.Durability
+		snapSt  *snapshot.RunState
+	)
+	if *snapDir != "" {
+		mgr, err := snapshot.NewManager(*snapDir, *snapKeep)
+		if err != nil {
+			fatal(logger, err)
+		}
+		durable = core.Durability{
+			Mgr:        mgr,
+			Every:      *snapEv,
+			Stop:       snapshot.GracefulStop(os.Interrupt, syscall.SIGTERM),
+			ConfigHash: core.ConfigHash(sc.Config),
+			Scale:      *scale,
+		}
+		if *resume {
+			st, path, skipped, err := snapshot.Latest(*snapDir)
+			for name, serr := range skipped {
+				logger.Warn("skipping damaged snapshot", slog.String("file", name), slog.Any("err", serr))
+			}
+			switch {
+			case errors.Is(err, snapshot.ErrNoSnapshot):
+				logger.Info("no valid snapshot; starting fresh", slog.String("dir", *snapDir))
+			case err != nil:
+				fatal(logger, err)
+			default:
+				if err := st.Validate(durable.ConfigHash, *seed, "MobiRescue"); err != nil {
+					fatal(logger, err)
+				}
+				snapSt = st
+				logger.Info("resuming from snapshot", slog.String("path", path),
+					slog.String("phase", st.Phase), slog.Int("train_rounds", st.TrainRounds))
+			}
+		}
+	}
+
+	var elog *eventlog.Log
+	closeLog := func() {}
 	if *evlogF != "" {
-		elog, err := eventlog.Create(*evlogF, sys.BuildManifest(*scale, sc.Config),
-			eventlog.Options{Timing: *evlogT})
+		if snapSt != nil {
+			// Truncate back to the snapshot's durability cursor; the resumed
+			// run re-executes (and re-appends) everything after it.
+			elog, err = eventlog.OpenAppend(*evlogF, snapSt.LogOffset, snapSt.LogEvents,
+				eventlog.Options{Timing: *evlogT})
+		} else {
+			elog, err = eventlog.Create(*evlogF, sys.BuildManifest(*scale, sc.Config),
+				eventlog.Options{Timing: *evlogT})
+		}
 		if err != nil {
 			fatal(logger, err)
 		}
 		elog.EnableMetrics(reg)
 		sys.SetEventLog(elog)
-		defer func() {
+		closeLog = func() {
 			events, bytes, drops := elog.Stats()
 			if err := elog.Close(); err != nil {
 				logger.Warn("closing event log", slog.Any("err", err))
 			}
 			logger.Info("event log written", slog.String("path", *evlogF),
 				slog.Int64("events", events), slog.Int64("bytes", bytes), slog.Int64("drops", drops))
-		}()
+		}
+		defer closeLog()
+	}
+	if snapSt != nil && snapSt.Phase == snapshot.PhaseDone {
+		logger.Info("run already complete; nothing to resume", slog.String("dir", *snapDir))
+		return
 	}
 	fmt.Printf("# scenario: %d people, %d landmarks, %d segments, %d teams\n",
 		len(sc.Eval.Data.People), sc.City.Graph.NumLandmarks(), sc.City.Graph.NumSegments(), sys.Teams)
@@ -134,14 +212,45 @@ func main() {
 		}
 		fmt.Printf("# warm-started policy from %s (%d episodes)\n", *loadPol, n)
 	}
+	var trainRewards []float64
 	if *episodes >= 0 {
 		start := time.Now()
-		returns, err := sys.TrainRLParallel(*episodes)
-		if err != nil {
-			fatal(logger, err)
+		switch {
+		case snapSt != nil && snapSt.Phase == snapshot.PhaseEval:
+			fatal(logger, fmt.Errorf("snapshot is mid-evaluation from a single-method run; resume it with mobirescue -resume"))
+		case snapSt != nil && snapSt.Phase == snapshot.PhaseTrained:
+			// Training finished before the crash: restore the learner and
+			// skip straight to the comparison, which re-executes in full.
+			trainRewards = snapSt.TrainRewards
+			if len(snapSt.LearnerState) > 0 {
+				if _, err := sys.RestoreLearnerState(snapSt.LearnerState); err != nil {
+					fatal(logger, err)
+				}
+			}
+			logger.Info("training restored from snapshot",
+				slog.Uint64("episodes", sys.TrainedEpisodes()))
+		case *snapDir != "":
+			trainRewards, err = sys.TrainRLParallelDurable(*episodes, durable, snapSt)
+			if err == nil {
+				err = sys.InstallTrained(durable, "MobiRescue", trainRewards)
+			}
+			switch {
+			case errors.Is(err, snapshot.ErrStopRequested):
+				logger.Info("graceful stop: final snapshot installed, event log flushed",
+					slog.String("dir", *snapDir), slog.Int("exit", snapshot.StopExitCode))
+				closeLog()
+				os.Exit(snapshot.StopExitCode)
+			case err != nil:
+				fatal(logger, err)
+			}
+		default:
+			trainRewards, err = sys.TrainRLParallel(*episodes)
+			if err != nil {
+				fatal(logger, err)
+			}
 		}
 		fmt.Printf("# trained RL for %d episodes in %v (timely served per episode: %v)\n",
-			len(returns), time.Since(start).Round(time.Second), returns)
+			len(trainRewards), time.Since(start).Round(time.Second), trainRewards)
 	}
 	if *savePol != "" {
 		if err := sys.SavePolicy(*savePol); err != nil {
@@ -229,6 +338,9 @@ func main() {
 		if err := runChaosComparison(sys, cmp, profile, *chaosSd, logger); err != nil {
 			fatal(logger, err)
 		}
+	}
+	if err := sys.InstallDone(durable, "MobiRescue", trainRewards); err != nil {
+		fatal(logger, err)
 	}
 }
 

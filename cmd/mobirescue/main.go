@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-checkpoint-every N] [-chaos profile] [-chaos-seed S] [-eventlog f] [-eventlog-timing] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
+//	mobirescue [-method mr|rescue|schedule] [-scale small|mid|full] [-episodes N] [-teams N] [-seed S] [-workers N] [-train-workers N] [-train-actors N] [-save-policy f] [-load-policy f] [-checkpoint-every N] [-chaos profile] [-chaos-seed S] [-decide-deadline d] [-eventlog f] [-eventlog-timing] [-snapshot-dir d] [-snapshot-every N] [-snapshot-keep N] [-resume] [-obs addr] [-report] [-cpuprofile f] [-memprofile f]
 //
 // With -obs the process serves /metrics (Prometheus text format),
 // /healthz, /debug/vars, and /debug/pprof/* on the given address for the
@@ -21,7 +21,19 @@
 // -chaos enables deterministic fault injection (flash-flood surges,
 // vehicle breakdowns, sensing and dispatcher faults) and wraps the
 // dispatcher in the resilient degraded-mode shell; the same -chaos-seed
-// reproduces the same chaotic run.
+// reproduces the same chaotic run. -decide-deadline overrides the
+// wrapper's wall-clock Decide deadline (default 5 s); an expiration is
+// recorded as a typed deadline event in the flight recorder.
+//
+// -snapshot-dir makes the run crash-safe (see README "Durability &
+// crash recovery"): a complete run snapshot is installed atomically at
+// every -snapshot-every-th window/training-round boundary, keeping the
+// last -snapshot-keep generations. -resume continues from the latest
+// valid snapshot — the resumed run's event log is byte-identical to an
+// uninterrupted one — and starts fresh when none exists. On SIGINT or
+// SIGTERM a snapshotting run finishes its current window, installs a
+// final snapshot, flushes the event log, and exits with code 3; a
+// second signal kills the process immediately.
 //
 // RL training (method mr) runs the parallel actor–learner pipeline:
 // -train-actors logical actors (default 4; fixes seeds and merge order,
@@ -35,17 +47,21 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
 	"mobirescue/internal/obs"
 	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/sim"
+	"mobirescue/internal/snapshot"
 	"mobirescue/internal/stats"
 )
 
@@ -69,6 +85,11 @@ func main() {
 		ckptEv   = flag.Int("checkpoint-every", 0, "also checkpoint to -save-policy every N training rounds (0 = only at the end)")
 		evlogF   = flag.String("eventlog", "", "record the flight-recorder event stream (JSONL) to this file")
 		evlogT   = flag.Bool("eventlog-timing", false, "include wall-clock fields in -eventlog (breaks cross-run byte-identity)")
+		snapDir  = flag.String("snapshot-dir", "", "install crash-safe run snapshots into this directory at window boundaries")
+		snapEv   = flag.Int("snapshot-every", 1, "snapshot cadence in dispatch windows / training rounds")
+		snapKeep = flag.Int("snapshot-keep", 0, "snapshot generations to retain (0 = default 3)")
+		resume   = flag.Bool("resume", false, "resume from the latest valid snapshot in -snapshot-dir (fresh start when none)")
+		decideDl = flag.Duration("decide-deadline", 0, "resilient wrapper's wall-clock Decide deadline in chaos runs (0 = default 5s)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
@@ -136,6 +157,7 @@ func main() {
 	sysCfg.TrainActors = *trainAc
 	sysCfg.CheckpointPath = *savePol
 	sysCfg.CheckpointEvery = *ckptEv
+	sysCfg.DecideTimeout = *decideDl
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)
@@ -153,22 +175,69 @@ func main() {
 		logger.Info("chaos enabled",
 			slog.String("profile", profile.Name), slog.Int64("chaos-seed", *chaosSd))
 	}
+	// Crash-safe snapshots: build the manager, arm graceful shutdown, and
+	// load the latest valid snapshot when resuming.
+	var (
+		durable core.Durability
+		snapSt  *snapshot.RunState
+	)
+	if *snapDir != "" {
+		mgr, err := snapshot.NewManager(*snapDir, *snapKeep)
+		if err != nil {
+			fatal(logger, err)
+		}
+		durable = core.Durability{
+			Mgr:        mgr,
+			Every:      *snapEv,
+			Stop:       snapshot.GracefulStop(os.Interrupt, syscall.SIGTERM),
+			ConfigHash: core.ConfigHash(cfg),
+			Scale:      *scale,
+		}
+		if *resume {
+			st, path, skipped, err := snapshot.Latest(*snapDir)
+			for name, serr := range skipped {
+				logger.Warn("skipping damaged snapshot", slog.String("file", name), slog.Any("err", serr))
+			}
+			switch {
+			case errors.Is(err, snapshot.ErrNoSnapshot):
+				logger.Info("no valid snapshot; starting fresh", slog.String("dir", *snapDir))
+			case err != nil:
+				fatal(logger, err)
+			default:
+				snapSt = st
+				logger.Info("resuming from snapshot", slog.String("path", path),
+					slog.String("phase", st.Phase), slog.Int("window", st.Window),
+					slog.Int("train_rounds", st.TrainRounds))
+			}
+		}
+	}
+
+	var elog *eventlog.Log
+	closeLog := func() {}
 	if *evlogF != "" {
-		elog, err := eventlog.Create(*evlogF, sys.BuildManifest(*scale, cfg),
-			eventlog.Options{Timing: *evlogT})
+		if snapSt != nil {
+			// Truncate back to the snapshot's durability cursor; the resumed
+			// run re-executes (and re-appends) everything after it.
+			elog, err = eventlog.OpenAppend(*evlogF, snapSt.LogOffset, snapSt.LogEvents,
+				eventlog.Options{Timing: *evlogT})
+		} else {
+			elog, err = eventlog.Create(*evlogF, sys.BuildManifest(*scale, cfg),
+				eventlog.Options{Timing: *evlogT})
+		}
 		if err != nil {
 			fatal(logger, err)
 		}
 		elog.EnableMetrics(reg)
 		sys.SetEventLog(elog)
-		defer func() {
+		closeLog = func() {
 			events, bytes, drops := elog.Stats()
 			if err := elog.Close(); err != nil {
 				logger.Warn("closing event log", slog.Any("err", err))
 			}
 			logger.Info("event log written", slog.String("path", *evlogF),
 				slog.Int64("events", events), slog.Int64("bytes", bytes), slog.Int64("drops", drops))
-		}()
+		}
+		defer closeLog()
 	}
 
 	if *loadPol != "" {
@@ -179,23 +248,48 @@ func main() {
 		logger.Info("policy warm-started",
 			slog.String("path", *loadPol), slog.Uint64("episodes", n))
 	}
-	switch *method {
-	case "mr", "mobirescue", "MobiRescue":
-		if *episodes > 0 {
-			start := time.Now()
-			returns, err := sys.TrainRLParallel(*episodes)
-			if err != nil {
-				fatal(logger, err)
-			}
+	var res *sim.Result
+	if *snapDir != "" {
+		start := time.Now()
+		var returns []float64
+		res, returns, err = sys.RunMethodDurable(*method, *episodes, durable, snapSt)
+		switch {
+		case errors.Is(err, snapshot.ErrStopRequested):
+			logger.Info("graceful stop: final snapshot installed, event log flushed",
+				slog.String("dir", *snapDir), slog.Int("exit", snapshot.StopExitCode))
+			closeLog()
+			os.Exit(snapshot.StopExitCode)
+		case errors.Is(err, core.ErrRunComplete):
+			logger.Info("run already complete; nothing to resume", slog.String("dir", *snapDir))
+			return
+		case err != nil:
+			fatal(logger, err)
+		}
+		if len(returns) > 0 {
 			logger.Info("RL training complete",
 				slog.Int("episodes", len(returns)),
 				slog.Uint64("total_episodes", sys.TrainedEpisodes()),
 				slog.Duration("elapsed", time.Since(start).Round(time.Second)))
 		}
-	}
-	res, err := sys.RunMethod(*method, 0)
-	if err != nil {
-		fatal(logger, err)
+	} else {
+		switch *method {
+		case "mr", "mobirescue", "MobiRescue":
+			if *episodes > 0 {
+				start := time.Now()
+				returns, err := sys.TrainRLParallel(*episodes)
+				if err != nil {
+					fatal(logger, err)
+				}
+				logger.Info("RL training complete",
+					slog.Int("episodes", len(returns)),
+					slog.Uint64("total_episodes", sys.TrainedEpisodes()),
+					slog.Duration("elapsed", time.Since(start).Round(time.Second)))
+			}
+		}
+		res, err = sys.RunMethod(*method, 0)
+		if err != nil {
+			fatal(logger, err)
+		}
 	}
 	if *savePol != "" {
 		if err := sys.SavePolicy(*savePol); err != nil {

@@ -1,0 +1,62 @@
+// Package atomicfile installs files atomically: write to a temporary
+// file in the destination directory, fsync it, rename it over the
+// target, and fsync the directory. Readers therefore only ever observe
+// either the previous complete file or the new complete file — never a
+// torn write — and a crash mid-install leaves the target untouched.
+//
+// It is the single home for the temp+fsync+rename idiom previously
+// duplicated by the checkpoint writer; snapshots (internal/snapshot)
+// and checkpoints (internal/train) both install through it.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically installs the bytes produced by write at path.
+// write receives a writer into a temporary file created in path's
+// directory; on success the temp file is fsynced, closed, and renamed
+// over path, and the directory is fsynced so the rename itself is
+// durable. On any error the temp file is removed and path is left
+// exactly as it was.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("atomicfile: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: installing %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss. Errors are ignored: not every filesystem supports directory
+// fsync, and the rename itself has already succeeded.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

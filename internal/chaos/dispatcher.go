@@ -23,6 +23,7 @@ import (
 type FaultyDispatcher struct {
 	inner sim.Dispatcher
 	in    *Injector
+	src   *countingSource // draw counter feeding rng (snapshot resume)
 	rng   *rand.Rand
 	round int
 	prev  []sim.RequestState // previous round's request view (for staleness)
@@ -36,11 +37,14 @@ func (in *Injector) WrapDispatcher(inner sim.Dispatcher) sim.Dispatcher {
 	if !in.profile.Enabled() {
 		return inner
 	}
+	// A distinct stream from the schedule RNG, still seed-derived. The
+	// counting wrapper lets snapshots record the stream position.
+	src := &countingSource{src: rand.NewSource(faultySeed(in.seed))}
 	return &FaultyDispatcher{
 		inner: inner,
 		in:    in,
-		// A distinct stream from the schedule RNG, still seed-derived.
-		rng: rand.New(rand.NewSource(in.seed*31 + 17)),
+		src:   src,
+		rng:   rand.New(src),
 	}
 }
 

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"mobirescue/internal/sim"
+)
+
+// Crash-safe state capture for the dispatcher-fault decorator
+// (internal/snapshot). math/rand sources cannot export their internal
+// state, so the decorator routes every draw through a counting wrapper
+// and a restore replays the stream: recreate the seed-derived source and
+// burn the recorded number of draws. The cost is linear in draws per
+// run-day, which is a few dozen per round — microseconds in practice.
+
+// countingSource wraps a rand.Source and counts Int63 calls. It
+// deliberately does NOT implement rand.Source64: rand.Rand would then
+// serve Uint64 from the fast path without counting, and (worse) change
+// the draw sequence relative to the unwrapped source. Every generator
+// method this package uses (Float64, Intn, Perm) routes through Int63.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+// Int63 implements rand.Source.
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Seed implements rand.Source.
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// faultySeed derives the dispatcher-fault stream seed from the schedule
+// seed — one definition shared by construction and restore.
+func faultySeed(seed int64) int64 { return seed*31 + 17 }
+
+// faultyWire is the decorator's mutable state.
+type faultyWire struct {
+	Draws   uint64
+	Round   int
+	HasPrev bool
+	Prev    []sim.RequestState
+	Inner   []byte // wrapped dispatcher chain blob (nil when stateless)
+}
+
+// CaptureState implements sim.StateCodec, delegating to the inner
+// dispatcher when it carries state of its own.
+func (d *FaultyDispatcher) CaptureState() ([]byte, error) {
+	w := faultyWire{
+		Draws:   d.src.n,
+		Round:   d.round,
+		HasPrev: d.prev != nil,
+		Prev:    d.prev,
+	}
+	if c, ok := d.inner.(sim.StateCodec); ok {
+		blob, err := c.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		w.Inner = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("chaos: encoding dispatcher state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements sim.StateCodec: the inner dispatcher is
+// restored first (it can fail; the decorator stays untouched), then the
+// RNG stream is replayed to the captured position.
+func (d *FaultyDispatcher) RestoreState(blob []byte) error {
+	var w faultyWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		return fmt.Errorf("chaos: decoding dispatcher state: %w", err)
+	}
+	if w.Round < 0 {
+		return fmt.Errorf("chaos: snapshot round %d out of range", w.Round)
+	}
+	if c, ok := d.inner.(sim.StateCodec); ok {
+		if err := c.RestoreState(w.Inner); err != nil {
+			return err
+		}
+	}
+	src := &countingSource{src: rand.NewSource(faultySeed(d.in.seed))}
+	for i := uint64(0); i < w.Draws; i++ {
+		src.src.Int63()
+	}
+	src.n = w.Draws
+	d.src = src
+	d.rng = rand.New(src)
+	d.round = w.Round
+	d.prev = nil
+	if w.HasPrev {
+		d.prev = w.Prev
+		if d.prev == nil {
+			// gob collapses empty-but-non-nil; the staleness branch only
+			// checks nilness, so restore an empty view faithfully.
+			d.prev = []sim.RequestState{}
+		}
+	}
+	return nil
+}

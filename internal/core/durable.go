@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/sim"
+	"mobirescue/internal/snapshot"
+	"mobirescue/internal/train"
+)
+
+// Crash-safe orchestration: RunMethodDurable drives one method run —
+// optional RL training, then the evaluation day — installing a
+// window-boundary snapshot (internal/snapshot) after every training
+// round / dispatch window, so a killed process resumes from the latest
+// valid snapshot and finishes with a byte-identical event log.
+//
+// The resume contract requires the resuming invocation to use the same
+// flags as the original: the snapshot validates config hash, seed, and
+// method, but the training-episode target and snapshot cadence are
+// trusted to match (crashtest re-invokes with identical arguments).
+
+// ErrRunComplete reports a resume whose latest snapshot says the run
+// already finished — there is nothing left to execute.
+var ErrRunComplete = errors.New("core: run already complete")
+
+// Durability wires snapshotting into a run. The zero value disables it.
+type Durability struct {
+	// Mgr installs snapshots; nil disables durability entirely.
+	Mgr *snapshot.Manager
+	// Every is the snapshot cadence in dispatch windows / training
+	// rounds; <= 0 means every boundary.
+	Every int
+	// Stop, when non-nil and set (by snapshot.GracefulStop), makes the
+	// run finish its current window, install a final snapshot, flush the
+	// event log, and return snapshot.ErrStopRequested.
+	Stop *atomic.Bool
+	// ConfigHash and Scale identify the experiment in each snapshot
+	// (ConfigHash(cfg) and the scale name, matching the log manifest).
+	ConfigHash string
+	Scale      string
+}
+
+func (d Durability) enabled() bool { return d.Mgr != nil }
+
+func (d Durability) every() int {
+	if d.Every > 0 {
+		return d.Every
+	}
+	return 1
+}
+
+func (d Durability) stopRequested() bool { return d.Stop != nil && d.Stop.Load() }
+
+// due reports whether boundary n (1-based count of completed units) is
+// a snapshot point.
+func (d Durability) due(n int) bool { return n > 0 && n%d.every() == 0 }
+
+// MethodName canonicalizes a method flag value ("mr", "rescue", ...)
+// to the paper's method name, mirroring RunMethod's accepted spellings.
+func MethodName(method string) (string, error) {
+	switch method {
+	case "mr", "mobirescue", "MobiRescue":
+		return "MobiRescue", nil
+	case "rescue", "Rescue":
+		return "Rescue", nil
+	case "schedule", "Schedule":
+		return "Schedule", nil
+	}
+	return "", fmt.Errorf("core: unknown method %q (want mr, rescue, or schedule)", method)
+}
+
+// baseState stamps a RunState with the run's identity fields.
+func (s *System) baseState(d Durability, method string) snapshot.RunState {
+	return snapshot.RunState{
+		ConfigHash: d.ConfigHash,
+		Seed:       s.Config.Seed,
+		Method:     method,
+		Scale:      d.Scale,
+	}
+}
+
+// CaptureLearnerState serializes the RL learner's full state (policy,
+// optimizer, replay ring, RNG) with the cumulative episode count, for
+// embedding in a run snapshot.
+func (s *System) CaptureLearnerState() ([]byte, error) {
+	return s.MR.Agent().CaptureFullState(s.trainedEpisodes)
+}
+
+// RestoreLearnerState rebuilds the RL learner from a CaptureLearnerState
+// blob and records its episode count, returning that count.
+func (s *System) RestoreLearnerState(blob []byte) (uint64, error) {
+	eps, err := s.MR.Agent().RestoreFullState(blob)
+	if err != nil {
+		return 0, err
+	}
+	s.trainedEpisodes = eps
+	return eps, nil
+}
+
+// InstallTrained installs a PhaseTrained snapshot capturing the trained
+// learner and the event-log cursor, for callers that drive training and
+// evaluation as separate phases (cmd/experiments). It returns
+// snapshot.ErrStopRequested when a graceful stop is pending so the
+// caller can exit before starting the next phase. No-op when durability
+// is disabled.
+func (s *System) InstallTrained(d Durability, method string, rewards []float64) error {
+	if !d.enabled() {
+		return nil
+	}
+	ns := s.baseState(d, method)
+	ns.Phase = snapshot.PhaseTrained
+	ns.TrainEpisodes = s.trainedEpisodes
+	ns.TrainedEpisodes = s.trainedEpisodes
+	ns.TrainRewards = rewards
+	var err error
+	if ns.LearnerState, err = s.MR.Agent().CaptureFullState(s.trainedEpisodes); err != nil {
+		return err
+	}
+	ns.LogOffset = s.evlog.Offset()
+	ns.LogEvents = s.evlog.Events()
+	if _, err := d.Mgr.Install(&ns); err != nil {
+		return err
+	}
+	if d.stopRequested() {
+		return snapshot.ErrStopRequested
+	}
+	return nil
+}
+
+// InstallDone syncs the event log and installs the terminal PhaseDone
+// snapshot: a later -resume of this directory reports the run complete
+// instead of re-executing it. No-op when durability is disabled.
+func (s *System) InstallDone(d Durability, method string, rewards []float64) error {
+	if !d.enabled() {
+		return nil
+	}
+	if err := s.evlog.Sync(); err != nil {
+		return err
+	}
+	ns := s.baseState(d, method)
+	ns.Phase = snapshot.PhaseDone
+	ns.TrainRewards = rewards
+	ns.TrainedEpisodes = s.trainedEpisodes
+	ns.LogOffset = s.evlog.Offset()
+	ns.LogEvents = s.evlog.Events()
+	_, err := d.Mgr.Install(&ns)
+	return err
+}
+
+// RunMethodDurable is RunMethod with crash-safe snapshots: train the RL
+// dispatcher for episodes episodes when the method is MobiRescue (the
+// resumable parallel trainer, not TrainRL's serial loop), then run the
+// evaluation day, snapshotting at every d.Every-th boundary. st, when
+// non-nil, is a snapshot from a previous invocation (snapshot.Latest)
+// and the run continues from it instead of starting over. The returned
+// rewards are the full training history (restored + new).
+//
+// On a graceful stop the error is snapshot.ErrStopRequested; on a
+// resume of an already-finished run it is ErrRunComplete.
+func (s *System) RunMethodDurable(method string, episodes int, d Durability, st *snapshot.RunState) (*sim.Result, []float64, error) {
+	name, err := MethodName(method)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st != nil {
+		if err := st.Validate(d.ConfigHash, s.Config.Seed, name); err != nil {
+			return nil, nil, err
+		}
+		if st.Phase == snapshot.PhaseDone {
+			return nil, st.TrainRewards, ErrRunComplete
+		}
+	}
+	day := s.Scenario.Eval.PeakRequestDay()
+	var rewards []float64
+	var disp sim.Dispatcher
+	switch name {
+	case "MobiRescue":
+		trainSt := st
+		if st != nil && st.Phase != snapshot.PhaseTrain {
+			// Training finished before the crash: restore its outcome and
+			// skip straight to evaluation. A PhaseEval snapshot carries the
+			// policy inside the simulator's dispatcher-chain blob instead.
+			rewards = st.TrainRewards
+			s.trainedEpisodes = st.TrainedEpisodes
+			if st.Phase == snapshot.PhaseTrained && len(st.LearnerState) > 0 {
+				if _, err := s.MR.Agent().RestoreFullState(st.LearnerState); err != nil {
+					return nil, nil, err
+				}
+			}
+			trainSt = nil
+		} else if episodes > 0 || trainSt != nil {
+			rewards, err = s.trainParallel(episodes, d, trainSt)
+			if err != nil {
+				return nil, rewards, err
+			}
+			if err := s.InstallTrained(d, name, rewards); err != nil {
+				return nil, rewards, err
+			}
+		}
+		s.MR.SetTraining(false)
+		disp = s.MR
+	case "Rescue":
+		rescue, err := s.NewRescueBaseline()
+		if err != nil {
+			return nil, nil, err
+		}
+		disp = rescue
+	case "Schedule":
+		disp = s.newSchedule()
+	}
+	var restore []byte
+	var recSt *eventlog.RecorderState
+	if st != nil && st.Phase == snapshot.PhaseEval {
+		restore = st.SimState
+		rs := st.EvalRecorder
+		recSt = &rs
+	}
+	res, err := s.runEvalDayDurable(day, disp, name, rewards, d, restore, recSt)
+	if err != nil {
+		return nil, rewards, err
+	}
+	if err := s.InstallDone(d, name, rewards); err != nil {
+		return res, rewards, err
+	}
+	return res, rewards, nil
+}
+
+// runEvalDayDurable runs one evaluation day with a snapshotting window
+// hook, optionally restored mid-run from a previous invocation's
+// simulator state and recorder buffer.
+func (s *System) runEvalDayDurable(day int, disp sim.Dispatcher, name string, rewards []float64, d Durability, restore []byte, recSt *eventlog.RecorderState) (*sim.Result, error) {
+	rec := s.evlog.Recorder(name)
+	if recSt != nil {
+		rec.RestoreState(*recSt)
+	}
+	var hook sim.WindowHook
+	if d.enabled() {
+		hook = func(simr *sim.Simulator, window int) error {
+			stop := d.stopRequested()
+			if !stop && !d.due(window) {
+				return nil
+			}
+			if window == 0 {
+				return nil // nothing has run yet; the fresh start is the snapshot
+			}
+			blob, err := simr.CaptureState()
+			if err != nil {
+				return err
+			}
+			ns := s.baseState(d, name)
+			ns.Phase = snapshot.PhaseEval
+			ns.TrainRewards = rewards
+			ns.TrainedEpisodes = s.trainedEpisodes
+			ns.Window = window
+			ns.SimState = blob
+			ns.EvalRecorder = rec.CaptureState()
+			ns.LogOffset = s.evlog.Offset()
+			ns.LogEvents = s.evlog.Events()
+			if _, err := d.Mgr.Install(&ns); err != nil {
+				return err
+			}
+			if stop {
+				return snapshot.ErrStopRequested
+			}
+			return nil
+		}
+	}
+	ctx, span := obs.StartSpan(s.ctx(), "eval.run."+disp.Name())
+	defer span.End()
+	s.evalDays.Inc()
+	res, err := s.runDayOpts(ctx, s.Scenario.Eval, day, disp, rec, dayOpts{
+		hook:         hook,
+		restore:      restore,
+		skipSchedule: restore != nil,
+	})
+	if err != nil {
+		if errors.Is(err, snapshot.ErrStopRequested) {
+			// Graceful stop: persist what the recorder holds so the partial
+			// log is inspectable. The final snapshot's cursor predates this
+			// append, so a resume truncates it away and re-executes.
+			s.evlog.Append(rec)
+			s.evlog.Sync()
+		}
+		return nil, err
+	}
+	s.recordPredCache(rec)
+	s.evlog.Append(rec)
+	if err := s.evlog.Sync(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// trainParallel is the shared actor–learner training driver behind
+// TrainRLParallel and RunMethodDurable: optionally resumed from a
+// PhaseTrain snapshot, optionally installing one per completed round.
+func (s *System) trainParallel(episodes int, d Durability, st *snapshot.RunState) ([]float64, error) {
+	if episodes <= 0 {
+		episodes = s.Config.TrainEpisodes
+	}
+	ctx, trainSpan := obs.StartSpan(s.ctx(), "rl.train_parallel")
+	defer trainSpan.End()
+	day := s.Scenario.Train.PeakRequestDay()
+	rollout := s.trainRollout(day)
+	trainRec := s.evlog.Recorder("train")
+	var prev []float64
+	startRound := 0
+	if st != nil && st.Phase == snapshot.PhaseTrain {
+		if len(st.LearnerState) > 0 {
+			eps, err := s.MR.Agent().RestoreFullState(st.LearnerState)
+			if err != nil {
+				return nil, err
+			}
+			s.trainedEpisodes = eps
+		}
+		trainRec.RestoreState(st.TrainRecorder)
+		prev = st.TrainRewards
+		startRound = st.TrainRounds
+	}
+	remaining := episodes - len(prev)
+	if remaining <= 0 {
+		// The snapshot already holds the whole training run (killed after
+		// the final round's snapshot, before the log append).
+		s.evlog.Append(trainRec)
+		return prev, nil
+	}
+	baseEp := s.trainedEpisodes
+	prevCkpt := 0
+	if st != nil {
+		prevCkpt = st.Checkpoints
+	}
+	cfgT := train.Config{
+		Actors:          s.trainActors(),
+		Episodes:        remaining,
+		Workers:         s.trainWorkers(),
+		Seed:            s.Config.Seed,
+		CheckpointPath:  s.Config.CheckpointPath,
+		CheckpointEvery: s.Config.CheckpointEvery,
+		Metrics:         s.Config.Metrics,
+		Logger:          s.Config.Logger,
+		Events:          trainRec,
+		StartRound:      startRound,
+	}
+	if d.enabled() {
+		cfgT.RoundHook = func(round int, stats *train.Stats) error {
+			stop := d.stopRequested()
+			if !stop && !d.due(round+1) {
+				return nil
+			}
+			full, err := s.MR.Agent().CaptureFullState(baseEp + uint64(stats.Episodes))
+			if err != nil {
+				return err
+			}
+			ns := s.baseState(d, "MobiRescue")
+			ns.Phase = snapshot.PhaseTrain
+			ns.TrainRounds = round + 1
+			ns.TrainEpisodes = baseEp + uint64(stats.Episodes)
+			ns.TrainRewards = append(append([]float64(nil), prev...), stats.Rewards...)
+			ns.Checkpoints = prevCkpt + stats.Checkpoints
+			ns.LearnerState = full
+			ns.TrainRecorder = trainRec.CaptureState()
+			ns.LogOffset = s.evlog.Offset()
+			ns.LogEvents = s.evlog.Events()
+			if _, err := d.Mgr.Install(&ns); err != nil {
+				return err
+			}
+			if stop {
+				return snapshot.ErrStopRequested
+			}
+			return nil
+		}
+	}
+	trainer, err := train.New(s.MR.Agent(), rollout, baseEp, cfgT)
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := trainer.Run(ctx)
+	s.evlog.Append(trainRec)
+	s.trainedEpisodes = trainer.Episodes()
+	for _, r := range stats.Rewards {
+		s.trainEpisodes.Inc()
+		s.episodeTimely.Set(r)
+	}
+	rewards := append(append([]float64(nil), prev...), stats.Rewards...)
+	if runErr != nil {
+		if errors.Is(runErr, snapshot.ErrStopRequested) {
+			s.evlog.Sync()
+			return rewards, runErr
+		}
+		return rewards, fmt.Errorf("core: parallel training: %w", runErr)
+	}
+	return rewards, nil
+}

@@ -19,6 +19,7 @@ import (
 	"mobirescue/internal/rl"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
+	"mobirescue/internal/snapshot"
 	"mobirescue/internal/svm"
 	"mobirescue/internal/train"
 	"mobirescue/internal/tsa"
@@ -78,6 +79,11 @@ type SystemConfig struct {
 	// run byte-for-byte.
 	Chaos     chaos.Profile
 	ChaosSeed int64
+	// DecideTimeout overrides the dispatch.Resilient wall-clock Decide
+	// deadline for chaos-hardened runs; 0 keeps the wrapper's default
+	// (5 s). Expirations emit a typed deadline event into the flight
+	// recorder.
+	DecideTimeout time.Duration
 	// Metrics, when non-nil, wires observability through the whole stack:
 	// SVM training/prediction counters, RL training telemetry, ILP solver
 	// stats, and the simulator's per-method decision-latency histograms.
@@ -332,10 +338,40 @@ func (s *System) SetChaos(p chaos.Profile, seed int64) error {
 // recorder, which the caller appends to the shared log in logical
 // order.
 func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher, rec *eventlog.Recorder) (*sim.Result, error) {
+	return s.runDayOpts(ctx, ep, day, disp, rec, dayOpts{})
+}
+
+// dayOpts extends runDay for crash-safe runs (see durable.go).
+type dayOpts struct {
+	// hook, when non-nil, runs at every dispatch-window boundary.
+	hook sim.WindowHook
+	// restore, when non-nil, rewinds the freshly built simulator (and
+	// its dispatcher chain) to a mid-run sim.CaptureState blob before
+	// running.
+	restore []byte
+	// skipSchedule suppresses the injector's up-front schedule events: a
+	// restored recorder buffer already holds them, and re-emitting would
+	// duplicate them in the resumed log.
+	skipSchedule bool
+}
+
+// resilientConfig is the Resilient wrapper configuration for chaos
+// runs, with the system-level Decide deadline override applied.
+func (s *System) resilientConfig() dispatch.ResilientConfig {
+	cfg := dispatch.DefaultResilientConfig()
+	if s.Config.DecideTimeout > 0 {
+		cfg.DecideTimeout = s.Config.DecideTimeout
+	}
+	return cfg
+}
+
+// runDayOpts is runDay with durability options.
+func (s *System) runDayOpts(ctx context.Context, ep *Episode, day int, disp sim.Dispatcher, rec *eventlog.Recorder, opts dayOpts) (*sim.Result, error) {
 	ctx, daySpan := obs.StartSpan(ctx, "sim.day")
 	defer daySpan.End()
 	cfg := s.simConfigForDay(ep, day)
 	cfg.Events = rec
+	cfg.Hook = opts.hook
 	requests := RequestsForDay(ep, day)
 	starts, err := VehicleStarts(s.Scenario.City, s.Teams, s.Config.Seed)
 	if err != nil {
@@ -350,12 +386,14 @@ func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Disp
 		}
 		inj.EnableMetrics(s.Config.Metrics)
 		inj.SetEvents(rec)
-		inj.LogSchedule(rec)
+		if !opts.skipSchedule {
+			inj.LogSchedule(rec)
+		}
 		// Surge closures layer under the rescue-crawl adapter so they
 		// stay visible to flood-aware routing as "closed".
 		base = inj.WrapCost(base)
 		cfg.VehicleFaults = inj.VehicleFaults()
-		resilient := dispatch.NewResilient(inj.WrapDispatcher(disp), dispatch.DefaultResilientConfig())
+		resilient := dispatch.NewResilient(inj.WrapDispatcher(disp), s.resilientConfig())
 		resilient.EnableMetrics(s.Config.Metrics)
 		resilient.SetEvents(rec)
 		disp = resilient
@@ -367,6 +405,11 @@ func (s *System) runDay(ctx context.Context, ep *Episode, day int, disp sim.Disp
 	simulator, err := sim.New(s.Scenario.City, costProv, disp, requests, starts, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.restore != nil {
+		if err := simulator.RestoreState(opts.restore); err != nil {
+			return nil, err
+		}
 	}
 	return simulator.RunContext(ctx)
 }
@@ -444,13 +487,21 @@ func (s *System) trainWorkers() int {
 // the learner state is checkpointed atomically after training (and every
 // CheckpointEvery rounds).
 func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
-	if episodes <= 0 {
-		episodes = s.Config.TrainEpisodes
-	}
-	ctx, trainSpan := obs.StartSpan(s.ctx(), "rl.train_parallel")
-	defer trainSpan.End()
-	day := s.Scenario.Train.PeakRequestDay()
-	rollout := func(ctx context.Context, round, actor int, policy *nn.Network, epsilon float64, seed int64) ([]rl.Transition, float64, error) {
+	return s.trainParallel(episodes, Durability{}, nil)
+}
+
+// TrainRLParallelDurable is TrainRLParallel with crash-safe snapshots:
+// d installs one after every completed round (or every d.Every-th), and
+// st, when non-nil and in PhaseTrain, resumes a previous invocation.
+// episodes is the total target including any resumed progress.
+func (s *System) TrainRLParallelDurable(episodes int, d Durability, st *snapshot.RunState) ([]float64, error) {
+	return s.trainParallel(episodes, d, st)
+}
+
+// trainRollout builds the actor-rollout closure replaying the training
+// episode's given day.
+func (s *System) trainRollout(day int) train.Rollout {
+	return func(ctx context.Context, round, actor int, policy *nn.Network, epsilon float64, seed int64) ([]rl.Transition, float64, error) {
 		ap, err := rl.NewActor(policy, epsilon, seed)
 		if err != nil {
 			return nil, 0, err
@@ -468,32 +519,6 @@ func (s *System) TrainRLParallel(episodes int) ([]float64, error) {
 		disp.EndEpisode()
 		return ap.Trajectory(), float64(res.TotalTimelyServed()), nil
 	}
-	trainRec := s.evlog.Recorder("train")
-	trainer, err := train.New(s.MR.Agent(), rollout, s.trainedEpisodes, train.Config{
-		Actors:          s.trainActors(),
-		Episodes:        episodes,
-		Workers:         s.trainWorkers(),
-		Seed:            s.Config.Seed,
-		CheckpointPath:  s.Config.CheckpointPath,
-		CheckpointEvery: s.Config.CheckpointEvery,
-		Metrics:         s.Config.Metrics,
-		Logger:          s.Config.Logger,
-		Events:          trainRec,
-	})
-	if err != nil {
-		return nil, err
-	}
-	stats, runErr := trainer.Run(ctx)
-	s.evlog.Append(trainRec)
-	s.trainedEpisodes = trainer.Episodes()
-	for _, r := range stats.Rewards {
-		s.trainEpisodes.Inc()
-		s.episodeTimely.Set(r)
-	}
-	if runErr != nil {
-		return stats.Rewards, fmt.Errorf("core: parallel training: %w", runErr)
-	}
-	return stats.Rewards, nil
 }
 
 // SavePolicy writes the learner's full training state (networks,

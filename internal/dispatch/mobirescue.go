@@ -1,6 +1,8 @@
 package dispatch
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
@@ -197,6 +199,79 @@ func (m *MobiRescue) LoadPolicy(r io.Reader) error { return m.agent.LoadPolicy(r
 
 // depotAction is the action index meaning "return to depot".
 func (m *MobiRescue) depotAction() int { return m.numRegions }
+
+// mrDecisionWire serializes one entry of the last-decision map.
+type mrDecisionWire struct {
+	Vehicle     sim.VehicleID
+	State       []float64
+	Action      int
+	PlannedTime float64
+	Served      int
+}
+
+// mrWire is the dispatcher's snapshot state: the agent's checkpoint
+// (policy, optimizer, counters, RNG — the replay buffer is only needed
+// for exact mid-*training* resume, which snapshots the learner
+// separately) plus the cross-window decision bookkeeping.
+type mrWire struct {
+	Agent    []byte // rl checkpoint envelope; nil on actor views
+	Last     []mrDecisionWire
+	Assigned map[sim.VehicleID]roadnet.SegmentID
+}
+
+// CaptureState implements sim.StateCodec.
+func (m *MobiRescue) CaptureState() ([]byte, error) {
+	w := mrWire{Assigned: m.assigned}
+	if m.agent != nil {
+		var buf bytes.Buffer
+		if err := m.agent.SaveCheckpoint(&buf, 0); err != nil {
+			return nil, err
+		}
+		w.Agent = buf.Bytes()
+	}
+	ids := make([]sim.VehicleID, 0, len(m.last))
+	for id := range m.last {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := m.last[id]
+		w.Last = append(w.Last, mrDecisionWire{
+			Vehicle: id, State: d.state, Action: d.action,
+			PlannedTime: d.plannedTime, Served: d.served,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("dispatch: encoding MobiRescue state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements sim.StateCodec.
+func (m *MobiRescue) RestoreState(blob []byte) error {
+	var w mrWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		return fmt.Errorf("dispatch: decoding MobiRescue state: %w", err)
+	}
+	if len(w.Agent) > 0 && m.agent != nil {
+		if _, err := m.agent.LoadCheckpoint(bytes.NewReader(w.Agent)); err != nil {
+			return err
+		}
+	}
+	m.last = make(map[sim.VehicleID]*decision, len(w.Last))
+	for _, d := range w.Last {
+		m.last[d.Vehicle] = &decision{
+			state: d.State, action: d.Action,
+			plannedTime: d.PlannedTime, served: d.Served,
+		}
+	}
+	m.assigned = w.Assigned
+	if m.assigned == nil {
+		m.assigned = make(map[sim.VehicleID]roadnet.SegmentID)
+	}
+	return nil
+}
 
 // buildState assembles one vehicle's state vector: per-region normalized
 // predicted demand, per-region travel time from the vehicle, onboard

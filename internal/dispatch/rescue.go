@@ -36,6 +36,13 @@ func NewRescue(predictor *tsa.Predictor, start time.Time, latency ilp.LatencyMod
 // Name implements sim.Dispatcher.
 func (r *Rescue) Name() string { return "Rescue" }
 
+// CaptureState implements sim.StateCodec: the baseline's only mutable
+// state is the time-series predictor's accumulated history.
+func (r *Rescue) CaptureState() ([]byte, error) { return r.predictor.CaptureState() }
+
+// RestoreState implements sim.StateCodec.
+func (r *Rescue) RestoreState(blob []byte) error { return r.predictor.RestoreState(blob) }
+
 // hourIndex converts a wall-clock instant to the predictor's hour slot.
 func (r *Rescue) hourIndex(t time.Time) int {
 	return int(t.Sub(r.start) / time.Hour)

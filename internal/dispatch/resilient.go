@@ -1,6 +1,8 @@
 package dispatch
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"time"
@@ -224,6 +226,13 @@ func (r *Resilient) callPrimary(snap *sim.Snapshot) decideResult {
 	case <-timer.C:
 		r.inflight = ch
 		r.met.timeouts.Inc()
+		if r.ev != nil {
+			r.ev.Emit(eventlog.Event{
+				Type:   eventlog.TypeDeadline,
+				Method: r.Name(),
+				DurMS:  r.cfg.DecideTimeout.Milliseconds(),
+			})
+		}
 		return decideResult{
 			err:  fmt.Errorf("dispatch: primary %s exceeded %v deadline", r.primary.Name(), r.cfg.DecideTimeout),
 			kind: "timeout",
@@ -256,6 +265,68 @@ func (r *Resilient) fallbackRound(snap *sim.Snapshot, kind string) ([]sim.Order,
 		r.ev.Emit(eventlog.Event{Type: eventlog.TypeFallback, Kind: kind, Orders: len(orders)})
 	}
 	return orders, delay
+}
+
+// resilientWire is the wrapper's mutable cross-round state. The inflight
+// channel is deliberately absent: a snapshot is restored in a fresh
+// process where the timed-out goroutine no longer exists, and wall-clock
+// deadlines already sit outside the byte-determinism contract.
+type resilientWire struct {
+	Failures int
+	Skip     int
+	Backoff  int
+	LastErr  string // errors gob-encode poorly; the message is what matters
+	Primary  []byte // inner dispatcher chain blob (nil when stateless)
+}
+
+// CaptureState implements sim.StateCodec, delegating to the primary when
+// it carries state of its own.
+func (r *Resilient) CaptureState() ([]byte, error) {
+	w := resilientWire{Failures: r.failures, Skip: r.skip, Backoff: r.backoff}
+	if r.lastErr != nil {
+		w.LastErr = r.lastErr.Error()
+	}
+	if c, ok := r.primary.(sim.StateCodec); ok {
+		blob, err := c.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		w.Primary = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("dispatch: encoding resilient state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements sim.StateCodec. The primary is restored first
+// so a failure leaves the wrapper untouched.
+func (r *Resilient) RestoreState(blob []byte) error {
+	var w resilientWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		return fmt.Errorf("dispatch: decoding resilient state: %w", err)
+	}
+	if w.Skip < 0 || w.Backoff < 0 || w.Failures < 0 {
+		return fmt.Errorf("dispatch: resilient state has negative counters")
+	}
+	if c, ok := r.primary.(sim.StateCodec); ok {
+		if err := c.RestoreState(w.Primary); err != nil {
+			return err
+		}
+	}
+	r.failures = w.Failures
+	r.skip = w.Skip
+	r.backoff = w.Backoff
+	if r.backoff == 0 {
+		r.backoff = r.cfg.BackoffRounds
+	}
+	r.lastErr = nil
+	if w.LastErr != "" {
+		r.lastErr = fmt.Errorf("%s", w.LastErr)
+	}
+	r.inflight = nil
+	return nil
 }
 
 // civilianBase unwraps the rescue-crawl adapter so closures are judged

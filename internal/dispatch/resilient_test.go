@@ -1,11 +1,14 @@
 package dispatch
 
 import (
+	"bytes"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/sim"
 )
@@ -266,4 +269,71 @@ func equalFloats(a, b []float64) bool {
 		}
 	}
 	return true
+}
+
+func TestResilientDeadlineEmitsTypedEvent(t *testing.T) {
+	city := testCity(t)
+	target := city.Graph.Out(city.Hospitals[3])[0]
+	primary := &flakyDisp{script: []string{"sleep"}, sleep: 300 * time.Millisecond, target: target}
+	cfg := DefaultResilientConfig()
+	cfg.DecideTimeout = 25 * time.Millisecond
+	r := NewResilient(primary, cfg)
+
+	elog, err := eventlog.Create(filepath.Join(t.TempDir(), "ev.jsonl"), eventlog.Manifest{}, eventlog.Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer elog.Close()
+	rec := elog.Recorder("test")
+	r.SetEvents(rec)
+
+	snap := resilientSnapshot(t, city)
+	r.Decide(snap) // primary sleeps past the deadline
+	buf := rec.CaptureState().Buf
+	if !bytes.Contains(buf, []byte(`"ev":"deadline"`)) {
+		t.Fatalf("no deadline event after timeout; recorder buffer:\n%s", buf)
+	}
+	if !bytes.Contains(buf, []byte(`"dur_ms":25`)) {
+		t.Errorf("deadline event missing the configured deadline; buffer:\n%s", buf)
+	}
+	if !bytes.Contains(buf, []byte(`"method":"flaky"`)) {
+		t.Errorf("deadline event missing the method name; buffer:\n%s", buf)
+	}
+}
+
+func TestResilientStateRoundTrip(t *testing.T) {
+	city := testCity(t)
+	target := city.Graph.Out(city.Hospitals[3])[0]
+	cfg := DefaultResilientConfig()
+	cfg.MaxFailures = 2
+	snap := resilientSnapshot(t, city)
+
+	r := NewResilient(&flakyDisp{script: []string{"panic"}, target: target}, cfg)
+	r.Decide(snap) // one failure on the books
+	blob, err := r.CaptureState()
+	if err != nil {
+		t.Fatalf("CaptureState: %v", err)
+	}
+
+	// Restored into a fresh wrapper, the failure count must carry over:
+	// one more panic trips the 2-failure breaker and the next round
+	// skips the primary entirely.
+	fresh := &flakyDisp{script: []string{"panic", "ok"}, target: target}
+	r2 := NewResilient(fresh, cfg)
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if r2.LastError() == nil {
+		t.Error("restored wrapper lost the recorded failure")
+	}
+	r2.Decide(snap) // second failure trips the breaker
+	calls := fresh.calls.Load()
+	r2.Decide(snap) // breaker open: primary must not be called
+	if fresh.calls.Load() != calls {
+		t.Errorf("primary called during backoff after restore (calls %d -> %d)", calls, fresh.calls.Load())
+	}
+
+	if err := r2.RestoreState([]byte("not a gob blob")); err == nil {
+		t.Error("RestoreState accepted garbage")
+	}
 }

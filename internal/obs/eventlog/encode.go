@@ -131,6 +131,10 @@ func appendEvent(b []byte, e *Event) []byte {
 		b = appendStr(b, "kind", e.Kind)
 		b = appendInt(b, "orders", e.Orders)
 
+	case TypeDeadline:
+		b = appendStr(b, "method", e.Method)
+		b = appendInt64(b, "dur_ms", e.DurMS)
+
 	case TypeReroute:
 		b = appendStr(b, "kind", e.Kind)
 		b = appendInt(b, "vehicle", e.Vehicle)

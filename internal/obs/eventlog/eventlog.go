@@ -44,6 +44,7 @@ package eventlog
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -88,6 +89,7 @@ const (
 	TypeTrainRound  Type = "train_round"  // one actor-learner training round
 	TypeCheckpoint  Type = "checkpoint"   // policy checkpoint installed
 	TypePredCache   Type = "pred_cache"   // prediction-cache snapshot (timing mode)
+	TypeDeadline    Type = "deadline"     // Resilient Decide deadline expired
 )
 
 // Manifest is the header record of every event log: enough provenance
@@ -234,6 +236,7 @@ type Log struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	closer io.Closer
+	file   *os.File // non-nil when the log owns a file (Create/OpenAppend)
 	opts   Options
 
 	events  atomic.Int64
@@ -266,6 +269,11 @@ func New(w io.Writer, m Manifest, opts Options) (*Log, error) {
 	if _, err := l.w.Write(header); err != nil {
 		return nil, fmt.Errorf("eventlog: writing manifest: %w", err)
 	}
+	// Flush the header immediately so Offset (the durability cursor)
+	// equals the on-disk length from the very first record.
+	if err := l.w.Flush(); err != nil {
+		return nil, fmt.Errorf("eventlog: flushing manifest: %w", err)
+	}
 	l.bytes.Add(int64(len(header)))
 	return l, nil
 }
@@ -283,7 +291,76 @@ func Create(path string, m Manifest, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l.closer = f
+	l.file = f
 	return l, nil
+}
+
+// OpenAppend reopens an existing event log for appending after a crash
+// or graceful stop, truncating it to offset bytes first (discarding any
+// events written after the durability cursor was captured, including a
+// torn final line) and restoring the cumulative event counter. The
+// manifest already in the file is validated but not rewritten; its
+// Timing flag carries over. Close also closes the file.
+func OpenAppend(path string, offset, events int64, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	header, m, err := readManifestHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if offset < int64(header) {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: resume offset %d inside the %d-byte manifest header", offset, header)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	if offset > size {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: resume offset %d beyond file size %d", offset, size)
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: truncating to resume offset: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	if opts.MaxRecorderBytes <= 0 {
+		opts.MaxRecorderBytes = defaultMaxRecorderBytes
+	}
+	opts.Timing = m.Timing
+	l := &Log{w: bufio.NewWriterSize(f, 64<<10), closer: f, file: f, opts: opts}
+	l.bytes.Store(offset)
+	l.events.Store(events)
+	return l, nil
+}
+
+// readManifestHeader reads and validates the manifest line at the start
+// of f, returning its length in bytes (newline included).
+func readManifestHeader(f *os.File) (int, Manifest, error) {
+	br := bufio.NewReaderSize(f, 64<<10)
+	raw, err := br.ReadString('\n')
+	if err != nil {
+		return 0, Manifest{}, fmt.Errorf("eventlog: reading manifest: %w", err)
+	}
+	var m manifestLine
+	if err := json.Unmarshal([]byte(raw), &m); err != nil {
+		return 0, Manifest{}, fmt.Errorf("eventlog: parsing manifest: %w", err)
+	}
+	if m.EV != string(TypeManifest) {
+		return 0, Manifest{}, fmt.Errorf("eventlog: first record is %q, want manifest", m.EV)
+	}
+	if m.Version > Version {
+		return 0, Manifest{}, fmt.Errorf("eventlog: schema version %d newer than supported %d", m.Version, Version)
+	}
+	return len(raw), m.Manifest, nil
 }
 
 // Timing reports whether wall-clock fields are enabled. Nil-safe
@@ -360,6 +437,56 @@ func (l *Log) finishAppend(r *Recorder) {
 	r.buf, r.n, r.dropped = nil, 0, 0
 }
 
+// Sync flushes buffered output and, when the log owns a file, fsyncs
+// it. Snapshot hooks call it at window boundaries so the durability
+// cursor (Offset) always refers to bytes that are actually on disk.
+// Nil-safe.
+func (l *Log) Sync() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			if l.err == nil {
+				l.err = fmt.Errorf("eventlog: sync flush: %w", err)
+			}
+			return l.err
+		}
+	}
+	if l.file != nil {
+		if err := l.file.Sync(); err != nil {
+			if l.err == nil {
+				l.err = fmt.Errorf("eventlog: fsync: %w", err)
+			}
+			return l.err
+		}
+	}
+	return l.err
+}
+
+// Offset returns the durability cursor: the byte length of everything
+// appended so far (header included). After a Sync it equals the on-disk
+// file length, which is what snapshots record so a resumed run can
+// truncate away any events the crashed process wrote afterwards.
+// Nil-safe.
+func (l *Log) Offset() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.bytes.Load()
+}
+
+// Events returns the cumulative appended-event count (the counterpart
+// of Offset for the resume manifest). Nil-safe.
+func (l *Log) Events() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.events.Load()
+}
+
 // Err returns the first write error encountered, if any. Nil-safe.
 func (l *Log) Err() error {
 	if l == nil {
@@ -388,6 +515,7 @@ func (l *Log) Close() error {
 			err = cerr
 		}
 		l.closer = nil
+		l.file = nil
 	}
 	if l.err != nil {
 		return l.err
@@ -440,6 +568,47 @@ func (r *Recorder) Window() int {
 // Timing reports whether the destination log records wall-clock fields.
 // Nil-safe (false), letting emission sites skip time.Now when off.
 func (r *Recorder) Timing() bool { return r != nil && r.log.Timing() }
+
+// RecorderState is a Recorder's complete serializable state: the
+// not-yet-appended buffer plus counters and window stamp. Snapshots
+// capture it so a resumed run re-creates the recorder mid-run exactly —
+// buffered events survive the crash, events emitted after the snapshot
+// are re-executed, not replayed.
+type RecorderState struct {
+	Run     string
+	Buf     []byte
+	N       int
+	Dropped int64
+	Window  int
+}
+
+// CaptureState snapshots the recorder's buffered-but-unappended state.
+// Nil-safe (zero state).
+func (r *Recorder) CaptureState() RecorderState {
+	if r == nil {
+		return RecorderState{}
+	}
+	return RecorderState{
+		Run:     r.run,
+		Buf:     append([]byte(nil), r.buf...),
+		N:       r.n,
+		Dropped: r.dropped,
+		Window:  r.window,
+	}
+}
+
+// RestoreState overwrites the recorder's buffer and counters from a
+// captured state. The run label is NOT overwritten — the recorder's
+// identity comes from its constructor. Nil-safe.
+func (r *Recorder) RestoreState(s RecorderState) {
+	if r == nil {
+		return
+	}
+	r.buf = append([]byte(nil), s.Buf...)
+	r.n = s.N
+	r.dropped = s.Dropped
+	r.window = s.Window
+}
 
 // Emit encodes one event into the recorder's buffer. Events with W == 0
 // are stamped with the current SetWindow value; wall-clock fields are

@@ -24,6 +24,10 @@ type Record struct {
 type RunLog struct {
 	Manifest Manifest
 	Events   []Record
+	// Truncated reports that the final line was torn (a crash mid-write
+	// left a partial record). All complete records were recovered; the
+	// torn tail was discarded.
+	Truncated bool
 }
 
 // manifestLine mirrors the manifest record's wire form.
@@ -33,17 +37,27 @@ type manifestLine struct {
 }
 
 // Read decodes an event log from r. The first record must be a manifest
-// with a schema version this build understands.
+// with a schema version this build understands. A malformed FINAL line
+// is tolerated as a torn write (a crash killed the process mid-line):
+// every complete record is returned and RunLog.Truncated is set.
+// Malformation anywhere else in the stream is still a hard error —
+// mid-file corruption is not a crash artifact.
 func Read(r io.Reader) (*RunLog, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	rl := &RunLog{}
 	line := 0
+	var tornErr error // parse error held back until we know it wasn't the last line
 	for sc.Scan() {
 		line++
 		raw := sc.Text()
 		if raw == "" {
 			continue
+		}
+		if tornErr != nil {
+			// The malformed line had complete records after it: corruption,
+			// not a torn tail.
+			return nil, tornErr
 		}
 		if line == 1 {
 			var m manifestLine
@@ -61,7 +75,8 @@ func Read(r io.Reader) (*RunLog, error) {
 		}
 		var e Event
 		if err := json.Unmarshal([]byte(raw), &e); err != nil {
-			return nil, fmt.Errorf("eventlog: line %d: %w", line, err)
+			tornErr = fmt.Errorf("eventlog: line %d: %w", line, err)
+			continue
 		}
 		rl.Events = append(rl.Events, Record{Event: e, Line: line, Raw: raw})
 	}
@@ -71,6 +86,7 @@ func Read(r io.Reader) (*RunLog, error) {
 	if line == 0 {
 		return nil, fmt.Errorf("eventlog: empty log")
 	}
+	rl.Truncated = tornErr != nil
 	return rl, nil
 }
 

@@ -50,10 +50,15 @@ type Simulator struct {
 	vehicles []*vehicle
 
 	now         time.Time
+	nextRound   time.Time
 	cost        roadnet.CostModel
 	router      *roadnet.Router
 	activeBySeg map[roadnet.SegmentID][]int
 	nextAppear  int
+	// restored marks a simulator rebuilt mid-run from a snapshot
+	// (RestoreState): the run_start event was already emitted by the
+	// original run and must not repeat.
+	restored bool
 
 	delayed []timedOrders
 	rounds  []RoundStat
@@ -113,6 +118,7 @@ func New(city *roadnet.City, costProv CostProvider, disp Dispatcher, requests []
 		disp:        disp,
 		activeBySeg: make(map[roadnet.SegmentID][]int),
 		now:         cfg.Start,
+		nextRound:   cfg.Start,
 		met:         newSimMetrics(cfg.Metrics, disp.Name()),
 		log:         cfg.Logger,
 		ev:          cfg.Events,
@@ -183,14 +189,13 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	ctx, runSpan := obs.StartSpan(ctx, "sim.run")
 	defer runSpan.End()
-	if s.ev != nil {
+	if s.ev != nil && !s.restored {
 		s.ev.Emit(eventlog.Event{
 			Type: eventlog.TypeRunStart, Run: s.ev.Run(),
 			Method: s.disp.Name(), T: s.cfg.Start, N: len(s.requests),
 		})
 	}
 	end := s.cfg.Start.Add(s.cfg.Duration)
-	nextRound := s.cfg.Start
 	for s.now.Before(end) {
 		// Surface newly appeared requests.
 		for s.nextAppear < len(s.requests) && !s.requests[s.nextAppear].AppearAt.After(s.now) {
@@ -220,14 +225,23 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		// Dispatch round.
-		if !s.now.Before(nextRound) {
+		if !s.now.Before(s.nextRound) {
+			// The window hook fires before any of the round's work —
+			// including the cost rebind — so a snapshot captured here
+			// resumes into a simulator whose router cache is cold in
+			// exactly the way the uninterrupted run's is after Rebind.
+			if s.cfg.Hook != nil {
+				if err := s.cfg.Hook(s, len(s.rounds)); err != nil {
+					return nil, err
+				}
+			}
 			s.refreshCost()
 			// The cost model only changes at round boundaries, so this
 			// is the moment routes planned under the old flood state can
 			// have been invalidated.
 			s.rerouteVehicles()
 			s.round(ctx)
-			nextRound = nextRound.Add(s.cfg.Period)
+			s.nextRound = s.nextRound.Add(s.cfg.Period)
 		}
 		// Apply orders whose computation delay has elapsed.
 		s.applyDueOrders()

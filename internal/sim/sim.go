@@ -243,7 +243,19 @@ type Config struct {
 	// logical order. Nil — the default — disables recording at zero
 	// cost (every emit is a single nil check).
 	Events *eventlog.Recorder
+	// Hook, when non-nil, is invoked at every window boundary — just
+	// before the dispatch round runs, with the count of completed
+	// windows — and may capture the simulator's state (CaptureState)
+	// or abort the run by returning an error. The durability layer
+	// installs snapshots and requests graceful stops through it.
+	Hook WindowHook
 }
+
+// WindowHook observes window boundaries. window is the number of
+// dispatch windows already completed (0 before the first). A non-nil
+// error aborts RunContext with that error; returning
+// snapshot.ErrStopRequested is the graceful-shutdown path.
+type WindowHook func(s *Simulator, window int) error
 
 // DefaultConfig returns the paper's evaluation settings.
 func DefaultConfig(start time.Time) Config {

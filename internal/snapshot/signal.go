@@ -1,0 +1,41 @@
+package snapshot
+
+import (
+	"os"
+	"os/signal"
+	"sync/atomic"
+)
+
+// StopExitCode is the process exit code for a graceful-stop shutdown:
+// distinct from 0 (completed) and 1 (failed) so supervisors and the
+// crashtest harness can tell "interrupted but resumable" apart from
+// both. Chosen above 1 and below the 128+signum range shells use for
+// uncaught signals.
+const StopExitCode = 3
+
+// GracefulStop installs a handler for the given signals (typically
+// SIGINT and SIGTERM) that sets the returned flag instead of killing
+// the process. The run loop's window hook polls the flag and returns
+// ErrStopRequested at the next window boundary — finishing the current
+// window, flushing the eventlog, and installing a final snapshot before
+// exit. A second signal while the flag is already set restores default
+// handling so a stuck run can still be killed with a repeat Ctrl-C.
+func GracefulStop(sigs ...os.Signal) *atomic.Bool {
+	flag := &atomic.Bool{}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	go func() {
+		for sig := range ch {
+			if flag.Swap(true) {
+				// Second signal: give up on graceful — restore default
+				// handling and re-deliver so the process dies like before.
+				signal.Stop(ch)
+				if p, err := os.FindProcess(os.Getpid()); err == nil {
+					p.Signal(sig)
+				}
+				return
+			}
+		}
+	}()
+	return flag
+}

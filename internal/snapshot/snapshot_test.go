@@ -1,0 +1,247 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"mobirescue/internal/nn"
+	"mobirescue/internal/obs/eventlog"
+)
+
+func testState(window int) *RunState {
+	return &RunState{
+		ConfigHash:    "fnv64a:deadbeef",
+		Seed:          7,
+		Method:        "mr",
+		Scale:         "small",
+		Phase:         PhaseEval,
+		TrainEpisodes: 3,
+		TrainRewards:  []float64{1, 2, 3},
+		Window:        window,
+		SimState:      bytes.Repeat([]byte{0xAB}, 512),
+		EvalRecorder:  eventlog.RecorderState{Run: "mr", Buf: []byte(`{"ev":"decide"}` + "\n"), N: 1, Window: window},
+		LogOffset:     1234,
+		LogEvents:     17,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := testState(5)
+	var buf bytes.Buffer
+	if err := st.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Window != 5 || got.ConfigHash != st.ConfigHash || got.LogOffset != 1234 ||
+		!bytes.Equal(got.SimState, st.SimState) || got.EvalRecorder.N != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestDecodeCorruption fuzzes the failure surface: truncation at every
+// interesting boundary, bit flips across the whole file, wrong version,
+// and a corrupted checksum must all produce typed errors — never a
+// partially loaded state.
+func TestDecodeCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testState(2).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, 3, 4, 15, 27, 28, len(whole) / 2, len(whole) - 1} {
+			st, err := Decode(bytes.NewReader(whole[:n]))
+			if st != nil {
+				t.Fatalf("truncated at %d returned a state", n)
+			}
+			if !errors.Is(err, nn.ErrEnvelopeTruncated) {
+				t.Fatalf("truncated at %d: err = %v, want ErrEnvelopeTruncated", n, err)
+			}
+		}
+	})
+
+	t.Run("bit flips", func(t *testing.T) {
+		for pos := 0; pos < len(whole); pos += 7 {
+			mut := append([]byte(nil), whole...)
+			mut[pos] ^= 0x40
+			st, err := Decode(bytes.NewReader(mut))
+			if err == nil {
+				// A flip in the episode-count header field is the only spot
+				// that legitimately survives (it isn't checksummed but also
+				// isn't part of the payload). Everything else must fail.
+				if pos >= 8 && pos < 16 {
+					continue
+				}
+				t.Fatalf("bit flip at %d silently accepted", pos)
+			}
+			if st != nil {
+				t.Fatalf("bit flip at %d: got non-nil state with error", pos)
+			}
+		}
+	})
+
+	t.Run("wrong version", func(t *testing.T) {
+		mut := append([]byte(nil), whole...)
+		mut[4] = 0xFF // version field, little-endian
+		_, err := Decode(bytes.NewReader(mut))
+		if !errors.Is(err, nn.ErrEnvelopeVersion) {
+			t.Fatalf("err = %v, want ErrEnvelopeVersion", err)
+		}
+	})
+
+	t.Run("wrong checksum", func(t *testing.T) {
+		mut := append([]byte(nil), whole...)
+		mut[len(mut)-1] ^= 0x01
+		_, err := Decode(bytes.NewReader(mut))
+		if !errors.Is(err, nn.ErrEnvelopeChecksum) {
+			t.Fatalf("err = %v, want ErrEnvelopeChecksum", err)
+		}
+	})
+}
+
+func TestManagerInstallPruneLatest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w <= 4; w++ {
+		if _, err := m.Install(testState(w)); err != nil {
+			t.Fatalf("Install(window %d): %v", w, err)
+		}
+	}
+	if got := len(listSeqs(dir)); got != 2 {
+		t.Fatalf("%d snapshots on disk after prune, want 2", got)
+	}
+	st, path, skipped, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if st.Window != 4 {
+		t.Fatalf("Latest window %d, want 4", st.Window)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skips: %v", skipped)
+	}
+	if filepath.Base(path) != snapName(3) {
+		t.Fatalf("Latest path %s, want %s", path, snapName(3))
+	}
+
+	// A new manager in the same directory continues the numbering.
+	m2, err := NewManager(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m2.Install(testState(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != snapName(4) {
+		t.Fatalf("resumed manager wrote %s, want %s", p, snapName(4))
+	}
+}
+
+// TestLatestFallsBackPastCorruptNewest is the acceptance-criteria case:
+// a truncated or bit-flipped latest snapshot must fall back to the
+// previous valid generation instead of failing.
+func TestLatestFallsBackPastCorruptNewest(t *testing.T) {
+	corrupt := func(t *testing.T, path string) {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x10
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truncate := func(t *testing.T, path string) {
+		t.Helper()
+		if err := os.Truncate(path, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, damage := range map[string]func(*testing.T, string){"bitflip": corrupt, "truncate": truncate} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := NewManager(dir, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Install(testState(1)); err != nil {
+				t.Fatal(err)
+			}
+			newest, err := m.Install(testState(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			damage(t, newest)
+			st, path, skipped, err := Latest(dir)
+			if err != nil {
+				t.Fatalf("Latest after damaging newest: %v", err)
+			}
+			if st.Window != 1 {
+				t.Fatalf("fell back to window %d, want 1", st.Window)
+			}
+			if path == newest {
+				t.Fatalf("Latest returned the damaged file")
+			}
+			if _, ok := skipped[newest]; !ok {
+				t.Fatalf("damaged file not reported in skipped: %v", skipped)
+			}
+		})
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	_, _, _, err := Latest(t.TempDir())
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestValidateMismatch(t *testing.T) {
+	st := testState(1)
+	if err := st.Validate("fnv64a:deadbeef", 7, "mr"); err != nil {
+		t.Fatalf("matching identity rejected: %v", err)
+	}
+	var mm *MismatchError
+	if err := st.Validate("fnv64a:other", 7, "mr"); !errors.As(err, &mm) || mm.Field != "config hash" {
+		t.Fatalf("config mismatch: %v", err)
+	}
+	if err := st.Validate("fnv64a:deadbeef", 8, "mr"); !errors.As(err, &mm) || mm.Field != "seed" {
+		t.Fatalf("seed mismatch: %v", err)
+	}
+	if err := st.Validate("fnv64a:deadbeef", 7, "rescue"); !errors.As(err, &mm) || mm.Field != "method" {
+		t.Fatalf("method mismatch: %v", err)
+	}
+}
+
+// TestGracefulStop delivers a real SIGTERM to ourselves and asserts the
+// flag flips instead of the process dying.
+func TestGracefulStop(t *testing.T) {
+	flag := GracefulStop(syscall.SIGTERM)
+	if flag.Load() {
+		t.Fatal("flag set before any signal")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("stop flag not set within 5s of SIGTERM")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"mobirescue/internal/atomicfile"
 )
 
 // CheckpointLoader restores a learner state written by
@@ -14,36 +15,21 @@ type CheckpointLoader interface {
 	LoadCheckpoint(r io.Reader) (episodes uint64, err error)
 }
 
-// SaveCheckpointFile writes the learner's checkpoint to path atomically:
-// the bytes go to a temporary file in the same directory, are fsynced,
-// and only then renamed over path. A crash mid-write can therefore never
-// leave a truncated checkpoint where a good one used to be — combined
-// with the checksummed envelope (internal/nn), readers either get a
-// complete, verified state or a typed error.
+// SaveCheckpointFile writes the learner's checkpoint to path atomically
+// via atomicfile.WriteFile (temp file in the same directory, fsync,
+// rename). A crash mid-write can therefore never leave a truncated
+// checkpoint where a good one used to be — combined with the
+// checksummed envelope (internal/nn), readers either get a complete,
+// verified state or a typed error.
 func SaveCheckpointFile(path string, l Learner, episodes uint64) error {
 	if path == "" {
 		return fmt.Errorf("train: checkpoint path required")
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		return l.SaveCheckpoint(w, episodes)
+	})
 	if err != nil {
-		return fmt.Errorf("train: creating checkpoint temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if err := l.SaveCheckpoint(tmp, episodes); err != nil {
-		tmp.Close()
-		return fmt.Errorf("train: writing checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("train: syncing checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("train: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("train: installing checkpoint: %w", err)
+		return fmt.Errorf("train: writing checkpoint %s: %w", path, err)
 	}
 	return nil
 }

@@ -109,6 +109,17 @@ type Config struct {
 	// trainer emits from the learner goroutine only, so the stream is
 	// deterministic for any Workers value. Nil — the default — is free.
 	Events *eventlog.Recorder
+	// StartRound is the absolute round index the loop starts at (0 for a
+	// fresh run). A resumed run sets it to the number of rounds already
+	// absorbed so rl.DeriveSeed — keyed by absolute round — hands every
+	// actor the same stream the uninterrupted run would have.
+	StartRound int
+	// RoundHook, when non-nil, runs after each completed round (and any
+	// periodic checkpoint) with the absolute index of the round that just
+	// finished. A non-nil error aborts training and is returned from Run;
+	// crash-safe runs use it to install window snapshots and to stop
+	// gracefully (internal/snapshot.ErrStopRequested).
+	RoundHook func(round int, stats *Stats) error
 }
 
 // Stats summarizes a training run.
@@ -169,6 +180,9 @@ func New(learner Learner, rollout Rollout, base uint64, cfg Config) (*Trainer, e
 	if cfg.CheckpointEvery < 0 {
 		return nil, fmt.Errorf("train: checkpoint interval %d must be >= 0", cfg.CheckpointEvery)
 	}
+	if cfg.StartRound < 0 {
+		return nil, fmt.Errorf("train: start round %d must be >= 0", cfg.StartRound)
+	}
 	t := &Trainer{learner: learner, rollout: rollout, cfg: cfg, episodes: base}
 	if reg := cfg.Metrics; reg != nil {
 		t.met = trainMetrics{
@@ -219,7 +233,7 @@ func (t *Trainer) Run(ctx context.Context) (*Stats, error) {
 	defer func() { stats.Elapsed = time.Since(start) }()
 
 	remaining := t.cfg.Episodes
-	for round := 0; remaining > 0; round++ {
+	for round := t.cfg.StartRound; remaining > 0; round++ {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
@@ -243,6 +257,11 @@ func (t *Trainer) Run(ctx context.Context) (*Stats, error) {
 		if t.cfg.CheckpointPath != "" && t.cfg.CheckpointEvery > 0 &&
 			(round+1)%t.cfg.CheckpointEvery == 0 && remaining > 0 {
 			if err := t.checkpoint(stats); err != nil {
+				return stats, err
+			}
+		}
+		if t.cfg.RoundHook != nil {
+			if err := t.cfg.RoundHook(round, stats); err != nil {
 				return stats, err
 			}
 		}
@@ -363,8 +382,10 @@ func (t *Trainer) checkpoint(stats *Stats) error {
 	t.met.checkpoints.Inc()
 	stats.Checkpoints++
 	if t.cfg.Events != nil {
+		// StartRound keeps the recorded round absolute so a resumed run
+		// emits the same bytes as an uninterrupted one.
 		t.cfg.Events.Emit(eventlog.Event{
-			Type: eventlog.TypeCheckpoint, Round: stats.Rounds,
+			Type: eventlog.TypeCheckpoint, Round: t.cfg.StartRound + stats.Rounds,
 			Path: t.cfg.CheckpointPath,
 		})
 	}

@@ -7,6 +7,8 @@
 package tsa
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 )
 
@@ -76,3 +78,27 @@ func (p *Predictor) Predict(key, hour int) float64 {
 
 // Keys returns the number of distinct keys observed.
 func (p *Predictor) Keys() int { return len(p.hist) }
+
+// CaptureState serializes the predictor's accumulated history (days and
+// decay are construction parameters, not state) for crash-safe
+// snapshots.
+func (p *Predictor) CaptureState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p.hist); err != nil {
+		return nil, fmt.Errorf("tsa: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState replaces the predictor's history with one captured by
+// CaptureState.
+func (p *Predictor) RestoreState(blob []byte) error {
+	hist := make(map[int][]float64)
+	if len(blob) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&hist); err != nil {
+			return fmt.Errorf("tsa: decoding state: %w", err)
+		}
+	}
+	p.hist = hist
+	return nil
+}
