@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke eventlog-smoke crash-smoke fuzz cover verify ci clean
+.PHONY: all build vet test race bench bench-smoke bench-scale-smoke eventlog-smoke crash-smoke fuzz cover verify ci clean
 
 all: ci race
 
@@ -35,6 +35,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/svm ./internal/nn ./internal/weather
 	$(GO) run ./cmd/benchroute -out BENCH_routing.json
 	$(GO) run ./cmd/benchpredict -out BENCH_predict.json
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
 
 # One-iteration smoke pass over every benchmark plus the benchpredict
 # contract run (identity witnesses and the 0 allocs/op assertions for
@@ -44,6 +45,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/roadnet ./internal/dispatch ./internal/svm ./internal/nn ./internal/weather
 	$(GO) run ./cmd/benchpredict -smoke
+
+# Metro-scale contract smoke: the 10K and 100K streaming tiers through
+# cmd/benchscale (identity witnesses, sublinear peak heap, per-window
+# decision budget — no artifact timings to trust). The checked-in
+# BENCH_scale.json's 1M tier is generated manually with
+# `go run ./cmd/benchscale -full`.
+bench-scale-smoke:
+	$(GO) run ./cmd/benchscale -smoke
 
 # Short fuzz pass over the city loader and the checkpoint loader (the
 # corpus seeds always run as part of `make test`; this explores further).
@@ -88,6 +97,7 @@ eventlog-smoke:
 	$(GO) run ./cmd/analyze timeline eventlog_a.jsonl >/dev/null
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_routing.json -fresh BENCH_routing.json
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_predict.json -fresh BENCH_predict.json
+	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_scale.json -fresh BENCH_scale.json
 
 # Kill -9 fuzz over the crash-safe run machinery (internal/snapshot):
 # one uninterrupted reference run, then kill/resume cycles until at
@@ -102,8 +112,9 @@ crash-smoke:
 
 verify: vet build test
 
-# The default CI gate: tier-1 verify plus the event-log smoke.
-ci: verify eventlog-smoke
+# The default CI gate: tier-1 verify plus the event-log smoke and the
+# metro-scale contract smoke.
+ci: verify eventlog-smoke bench-scale-smoke
 
 clean:
 	$(GO) clean ./...

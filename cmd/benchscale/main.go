@@ -1,0 +1,314 @@
+// Command benchscale measures the metro-scale prediction hot path over
+// streaming synthetic population tiers (10K / 100K / 1M people) and
+// writes BENCH_scale.json.
+//
+// Each tier builds a mobility.Streamer over the scenario city (O(people)
+// memory, no materialized tracks), wraps it in the columnar
+// PredictProvider, and reports:
+//
+//   - per-window decision wall-clock: cold Predict plus RegionTotals,
+//     serial (Workers=1) and sharded parallel (Workers=0);
+//   - peak heap (runtime.MemStats HeapInuse after the tier's windows)
+//     and steady-state allocation per window once caches are warm;
+//   - byte-identity witnesses: the serial and parallel distributions,
+//     and the pre-aggregated RegionTotals against a direct aggregation
+//     of the Predict map.
+//
+// The cross-tier section asserts the scaling contracts the gate checks
+// (booleans survive `analyze bench-check -portable`; raw wall-clock
+// fields use *_ns_per_window names, which the gate treats as
+// informational on foreign hardware):
+//
+//   - sublinear_memory: peak heap grows strictly slower than the
+//     population (shared city structures and O(segments) outputs
+//     amortize);
+//   - near_linear_decision_time: serial decision time grows no worse
+//     than ~2.5x the population ratio;
+//   - decision_within_budget per tier: a parallel cold window decision
+//     stays interactive (10 s for the CI tiers, 120 s for 1M).
+//
+// The default sweep runs the 10K and 100K tiers; -full adds the 1M
+// tier (minutes of wall-clock — run manually, not in CI). With -smoke
+// the window count shrinks and no artifact is written; `make
+// bench-scale-smoke` runs that in CI so the scale path cannot rot.
+//
+// Usage:
+//
+//	go run ./cmd/benchscale -out BENCH_scale.json [-scale small] [-seed 1] [-windows 6] [-full] [-smoke]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mobirescue/internal/core"
+	"mobirescue/internal/mobility"
+	"mobirescue/internal/obs"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/svm"
+
+	"os"
+)
+
+// tierResult is one population tier's measurements.
+type tierResult struct {
+	Name    string `json:"name"`
+	People  int    `json:"people"`
+	Windows int    `json:"windows"`
+	// Wall-clock per cold 5-minute window (Predict + RegionTotals).
+	// *_ns_per_window is informational across machines; the booleans
+	// below carry the gate-checked claims.
+	SerialNsPerWindow   float64 `json:"serial_ns_per_window"`
+	ParallelNsPerWindow float64 `json:"parallel_ns_per_window"`
+	WarmNsPerWindow     float64 `json:"warm_ns_per_window"`
+	// PeakHeapBytes is HeapInuse after the tier's windows (post-GC).
+	PeakHeapBytes      uint64  `json:"peak_heap_bytes"`
+	HeapBytesPerCapita float64 `json:"heap_bytes_per_person"`
+	// SteadyAllocPerWindow is TotalAlloc growth for one cold window
+	// once the scratch pools are warm — the columnar loop's allocation
+	// is O(touched segments), not O(people).
+	SteadyAllocPerWindow float64 `json:"steady_alloc_bytes_per_window"`
+	SteadyAllocPerCapita float64 `json:"steady_alloc_bytes_per_person"`
+	// Identical: serial == parallel distribution at every window, and
+	// RegionTotals == direct aggregation of the Predict map.
+	Identical bool `json:"results_identical"`
+	// DecisionWithinBudget: one parallel cold window stays under the
+	// tier's latency budget (10 s up to 100K, 120 s at 1M).
+	DecisionWithinBudget bool `json:"decision_within_budget"`
+}
+
+// scalingResult holds the cross-tier claims.
+type scalingResult struct {
+	PeopleRatio         float64 `json:"people_ratio"`
+	HeapRatio           float64 `json:"heap_ratio"`
+	SerialDecisionRatio float64 `json:"serial_decision_ratio"`
+	// SublinearMemory: peak heap grew strictly slower than population.
+	SublinearMemory bool `json:"sublinear_memory"`
+	// NearLinearDecisionTime: serial decision time grew no worse than
+	// 2.5x the population ratio.
+	NearLinearDecisionTime bool `json:"near_linear_decision_time"`
+}
+
+// report is the BENCH_scale.json document.
+type report struct {
+	GeneratedAt time.Time       `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Smoke       bool            `json:"smoke"`
+	Scale       string          `json:"scale"`
+	Seed        int64           `json:"seed"`
+	Tiers       []tierResult    `json:"tiers"`
+	Scaling     []scalingResult `json:"scaling"`
+}
+
+// tierBudget is the per-window parallel latency budget for a tier.
+func tierBudget(people int) time.Duration {
+	if people > 100_000 {
+		return 120 * time.Second
+	}
+	return 10 * time.Second
+}
+
+// evalWindows returns n consecutive 5-minute windows on the disaster's
+// second day — the regime dispatch decisions actually run in.
+func evalWindows(cfg mobility.Config, n int) []time.Time {
+	base := cfg.DisasterStart.Add(26 * time.Hour)
+	out := make([]time.Time, n)
+	for i := range out {
+		out[i] = base.Add(time.Duration(i) * 5 * time.Minute)
+	}
+	return out
+}
+
+// runTier measures one population tier.
+func runTier(sc *core.Scenario, model *svm.Model, people, windows int) (tierResult, error) {
+	tr := tierResult{
+		Name:    fmt.Sprintf("people_%d", people),
+		People:  people,
+		Windows: windows,
+	}
+	mcfg := sc.Eval.Data.Config
+	mcfg.NumPeople = people
+	st, err := mobility.NewStreamer(sc.City, mcfg)
+	if err != nil {
+		return tr, err
+	}
+	prov, err := core.NewPredictProviderFromSource(sc.City, st, model, sc.Eval.Storm, sc.Elev, 0)
+	if err != nil {
+		return tr, err
+	}
+	ts := evalWindows(mcfg, windows)
+
+	coldPass := func(workers int) (float64, []map[roadnet.SegmentID]float64) {
+		prov.SetWorkers(workers)
+		prov.ResetCache()
+		dist := make([]map[roadnet.SegmentID]float64, len(ts))
+		start := time.Now()
+		for i, at := range ts {
+			dist[i] = prov.Predict(at)
+			prov.RegionTotals(at)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(len(ts)), dist
+	}
+
+	var serialDist, parallelDist []map[roadnet.SegmentID]float64
+	tr.SerialNsPerWindow, serialDist = coldPass(1)
+	tr.ParallelNsPerWindow, parallelDist = coldPass(0)
+	tr.DecisionWithinBudget = time.Duration(tr.ParallelNsPerWindow) < tierBudget(people)
+
+	// Warm pass: cache hits through the singleflight.
+	startWarm := time.Now()
+	for _, at := range ts {
+		prov.Predict(at)
+		prov.RegionTotals(at)
+	}
+	tr.WarmNsPerWindow = float64(time.Since(startWarm).Nanoseconds()) / float64(len(ts))
+
+	// Identity: serial == parallel per window, and RegionTotals ==
+	// direct aggregation under dispatch's filters.
+	tr.Identical = true
+	g := sc.City.Graph
+	numRegions := sc.City.NumRegions()
+	for i, at := range ts {
+		if !reflect.DeepEqual(serialDist[i], parallelDist[i]) {
+			tr.Identical = false
+			return tr, fmt.Errorf("tier %s window %v: serial and parallel distributions differ", tr.Name, at)
+		}
+		totals := prov.RegionTotals(at)
+		want := make([]float64, numRegions+1)
+		for seg, n := range serialDist[i] {
+			if n <= 0 || int(seg) < 0 || int(seg) >= g.NumSegments() {
+				continue
+			}
+			if r := g.Segment(seg).Region; r >= 1 && r <= numRegions {
+				want[r] += n
+			}
+		}
+		for r := range want {
+			if totals[r] != want[r] {
+				tr.Identical = false
+				return tr, fmt.Errorf("tier %s window %v region %d: RegionTotals %v != aggregation %v",
+					tr.Name, at, r, totals[r], want[r])
+			}
+		}
+	}
+
+	// Steady-state allocation: one more cold window after everything is
+	// warmed — scratch pools populated, memos filled.
+	prov.SetWorkers(0)
+	prov.ResetCache()
+	before := obs.ReadMem()
+	prov.Predict(ts[0])
+	prov.RegionTotals(ts[0])
+	after := obs.ReadMem()
+	tr.SteadyAllocPerWindow = float64(after.TotalAllocBytes - before.TotalAllocBytes)
+	tr.SteadyAllocPerCapita = tr.SteadyAllocPerWindow / float64(people)
+
+	// Peak heap with the tier live, after a GC so the reading is spans
+	// actually held, not garbage awaiting collection.
+	runtime.GC()
+	tr.PeakHeapBytes = obs.ReadMem().HeapInuseBytes
+	tr.HeapBytesPerCapita = float64(tr.PeakHeapBytes) / float64(people)
+	return tr, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scale.json", "output JSON path (- for stdout)")
+	scale := flag.String("scale", "small", "scenario scale ("+core.ScaleNames+")")
+	seed := flag.Int64("seed", 1, "scenario/SVM seed")
+	windows := flag.Int("windows", 6, "5-minute windows per tier")
+	full := flag.Bool("full", false, "include the 1M tier (minutes of wall-clock; run manually)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: 2 windows, contracts only, artifact untouched")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchscale: ")
+
+	if *smoke {
+		*windows = 2
+	}
+	tiers := []int{10_000, 100_000}
+	if *full {
+		tiers = append(tiers, 1_000_000)
+	}
+
+	scCfg, err := core.ScenarioConfigForScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scCfg.Seed = *seed
+	sc, err := core.BuildScenario(scCfg)
+	if err != nil {
+		log.Fatalf("building scenario: %v", err)
+	}
+	model, err := core.TrainSVM(sc.City, sc.Train, sc.Elev, *seed)
+	if err != nil {
+		log.Fatalf("training SVM: %v", err)
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Smoke:       *smoke,
+		Scale:       *scale,
+		Seed:        *seed,
+	}
+	for _, people := range tiers {
+		tr, err := runTier(sc, model, people, *windows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !tr.DecisionWithinBudget {
+			log.Fatalf("tier %s: parallel window decision %.2fs exceeds the %v budget",
+				tr.Name, tr.ParallelNsPerWindow/1e9, tierBudget(people))
+		}
+		fmt.Printf("benchscale: %s — serial %.1f ms/window, parallel %.1f ms/window, peak heap %.1f MB, steady alloc %.2f B/person\n",
+			tr.Name, tr.SerialNsPerWindow/1e6, tr.ParallelNsPerWindow/1e6,
+			float64(tr.PeakHeapBytes)/1e6, tr.SteadyAllocPerCapita)
+		rep.Tiers = append(rep.Tiers, tr)
+		runtime.GC() // release the tier before building the next one
+	}
+
+	for i := 1; i < len(rep.Tiers); i++ {
+		prev, cur := rep.Tiers[i-1], rep.Tiers[i]
+		s := scalingResult{
+			PeopleRatio:         float64(cur.People) / float64(prev.People),
+			HeapRatio:           float64(cur.PeakHeapBytes) / float64(prev.PeakHeapBytes),
+			SerialDecisionRatio: cur.SerialNsPerWindow / prev.SerialNsPerWindow,
+		}
+		s.SublinearMemory = s.HeapRatio < s.PeopleRatio
+		s.NearLinearDecisionTime = s.SerialDecisionRatio < 2.5*s.PeopleRatio
+		if !s.SublinearMemory {
+			log.Fatalf("%s -> %s: peak heap ratio %.2f is not sublinear in the %.0fx population growth",
+				prev.Name, cur.Name, s.HeapRatio, s.PeopleRatio)
+		}
+		if !s.NearLinearDecisionTime {
+			log.Fatalf("%s -> %s: serial decision ratio %.2f is superlinear beyond tolerance (people ratio %.0fx)",
+				prev.Name, cur.Name, s.SerialDecisionRatio, s.PeopleRatio)
+		}
+		rep.Scaling = append(rep.Scaling, s)
+	}
+
+	if *smoke {
+		fmt.Println("benchscale: smoke ok (identity held, memory sublinear, decisions within budget)")
+		return
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchscale: wrote %s (%d tiers)\n", *out, len(rep.Tiers))
+}

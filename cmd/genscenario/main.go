@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	genscenario [-scale small|mid|full] [-seed S] [-city city.json]
+//	genscenario [-scale small|mid|full] [-seed S] [-city city.json] [-people N]
+//
+// With -people N (e.g. 10000, 100000, 1000000) it additionally
+// synthesizes a streaming metro-scale population tier over the same
+// city — deterministic in the seed, region-weighted, O(people) memory —
+// and prints its per-region distribution. Streaming tiers never
+// materialize GPS tracks, so the 1M tier builds in seconds.
 package main
 
 import (
@@ -25,6 +31,7 @@ func main() {
 		scale    = flag.String("scale", "small", "scenario scale: "+core.ScaleNames)
 		seed     = flag.Int64("seed", 1, "random seed")
 		cityPath = flag.String("city", "", "write the city road network JSON here")
+		people   = flag.Int("people", 0, "also synthesize a streaming population tier of this size (10000|100000|1000000)")
 	)
 	flag.Parse()
 
@@ -74,5 +81,22 @@ func main() {
 		}
 		fmt.Printf("  trips by phase: before=%d during=%d after=%d\n",
 			byPhase[mobility.PhaseBefore], byPhase[mobility.PhaseDuring], byPhase[mobility.PhaseAfter])
+	}
+
+	if *people > 0 {
+		mcfg := sc.Eval.Data.Config
+		mcfg.NumPeople = *people
+		st, err := mobility.NewStreamer(sc.City, mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streaming tier: %d people (seed %d, O(people) memory, no stored tracks)\n",
+			st.NumPeople(), mcfg.Seed)
+		counts := st.HomeRegionCounts(sc.City)
+		fmt.Printf("  homes by region:")
+		for r := 1; r < len(counts); r++ {
+			fmt.Printf(" %d=%d", r, counts[r])
+		}
+		fmt.Println()
 	}
 }

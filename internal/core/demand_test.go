@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"mobirescue/internal/mobility"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/pop"
+	"mobirescue/internal/roadnet"
+)
+
+// TestRegionTotalsMatchesPredictAggregation pins the provider-side half
+// of the demand fast path: RegionTotals must be bit-identical to
+// aggregating the Predict map under dispatch's regionDemand filters
+// (drop non-positive counts, out-of-range segments, and segments whose
+// region falls outside 1..NumRegions), in any summation order — the
+// counts are small integers, so float64 addition is exact.
+func TestRegionTotalsMatchesPredictAggregation(t *testing.T) {
+	sys := testSystem(t)
+	p := sys.EvalProvider
+	g := sys.Scenario.City.Graph
+	numRegions := sys.Scenario.City.NumRegions()
+
+	for _, at := range predictWindows(sys) {
+		totals := p.RegionTotals(at)
+		if len(totals) != numRegions+1 {
+			t.Fatalf("window %v: totals length %d, want %d", at, len(totals), numRegions+1)
+		}
+		pred := p.Predict(at)
+		keys := make([]roadnet.SegmentID, 0, len(pred))
+		for seg := range pred {
+			keys = append(keys, seg)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := make([]float64, numRegions+1)
+		for _, seg := range keys {
+			n := pred[seg]
+			if n <= 0 || int(seg) < 0 || int(seg) >= g.NumSegments() {
+				continue
+			}
+			if r := g.Segment(seg).Region; r >= 1 && r <= numRegions {
+				want[r] += n
+			}
+		}
+		for r := range want {
+			if totals[r] != want[r] {
+				t.Fatalf("window %v region %d: RegionTotals %v != map aggregation %v", at, r, totals[r], want[r])
+			}
+		}
+		// Repeated queries for the same instant hit the one-entry cache
+		// and share the backing array.
+		if again := p.RegionTotals(at); len(again) > 0 && &again[0] != &totals[0] {
+			t.Fatalf("window %v: repeated RegionTotals did not reuse the cached slice", at)
+		}
+	}
+}
+
+// TestPredictProviderFromSourceSparseIDs exercises the source-backed
+// constructor with non-dense person IDs: the store falls back to
+// binary-search lookup, and the window fast path must still match the
+// reference implementation.
+func TestPredictProviderFromSourceSparseIDs(t *testing.T) {
+	sys := testSystem(t)
+	sc := sys.Scenario
+	g := sc.City.Graph
+	cfg := sc.Eval.Data.Config
+
+	b := pop.NewBuilder()
+	ids := []int{5, 40, 1007}
+	for k, id := range ids {
+		for s := 0; s < 6; s++ {
+			seg := roadnet.SegmentID((k*7 + s*13) % g.NumSegments())
+			b.Add(id, cfg.Start.Add(time.Duration(s)*4*time.Hour), g.SegmentMidpoint(seg))
+		}
+	}
+	store, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Dense() {
+		t.Fatal("store with IDs 5/40/1007 reported dense")
+	}
+
+	horizon := time.Duration(cfg.Days)*24*time.Hour + factorLookback
+	p, err := NewPredictProviderFromSource(sc.City, store, sys.SVM, sc.Eval.Storm, sc.Elev, horizon)
+	if err != nil {
+		t.Fatalf("NewPredictProviderFromSource: %v", err)
+	}
+	at := cfg.DisasterStart.Add(12 * time.Hour)
+	if got, want := p.Predict(at), p.PredictReference(at); !reflect.DeepEqual(got, want) {
+		t.Fatal("sparse-ID provider: fast path differs from reference")
+	}
+	for _, id := range ids {
+		if _, _, ok := p.PredictPerson(id, at); !ok {
+			t.Fatalf("PredictPerson(%d) not found", id)
+		}
+	}
+	if _, _, ok := p.PredictPerson(6, at); ok {
+		t.Fatal("PredictPerson(6) found a person between sparse IDs")
+	}
+	if p.NumPeople() != len(ids) {
+		t.Fatalf("NumPeople = %d, want %d", p.NumPeople(), len(ids))
+	}
+}
+
+// TestPredictProviderOverStreamer runs the provider over a streaming
+// synthetic population (the metro-scale source): the sharded fast path
+// must match both the serial path and the reference implementation,
+// and the region shard plan must pick up the streamer's home anchors.
+func TestPredictProviderOverStreamer(t *testing.T) {
+	sys := testSystem(t)
+	sc := sys.Scenario
+	mcfg := sc.Eval.Data.Config
+	mcfg.NumPeople = 400
+	st, err := mobility.NewStreamer(sc.City, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictProviderFromSource(sc.City, st, sys.SVM, sc.Eval.Storm, sc.Elev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ShardPlan().Shards(4); len(got) < 2 {
+		t.Fatalf("streamer shard plan produced %d shards, want region-aligned parallelism", len(got))
+	}
+	for _, at := range predictWindows(sys) {
+		p.SetWorkers(1)
+		p.ResetCache()
+		serial := p.Predict(at)
+		p.SetWorkers(8)
+		p.ResetCache()
+		parallel := p.Predict(at)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("window %v: streamer-backed prediction differs across workers", at)
+		}
+		if want := p.PredictReference(at); !reflect.DeepEqual(serial, want) {
+			t.Fatalf("window %v: streamer-backed fast path differs from reference", at)
+		}
+	}
+}
+
+// TestDemandFastPathRunByteIdentical is the end-to-end witness for the
+// demand fast path: a full evaluation-day MR run with the region-sharded
+// demand source installed (the default wiring) must produce a
+// byte-identical result and event stream to the same run with the
+// source removed (falling back to the per-decision map scan).
+func TestDemandFastPathRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full eval-day comparison in -short mode")
+	}
+	sc := testScenario(t)
+
+	run := func(fast bool) (*resultAndLog, error) {
+		cfg := DefaultSystemConfig()
+		cfg.Workers = 4
+		sys, err := NewSystem(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !fast {
+			sys.MR.SetDemandSource(nil)
+		}
+		var buf bytes.Buffer
+		l, err := eventlog.New(&buf, sys.BuildManifest("small", sc.Config), eventlog.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sys.SetEventLog(l)
+		res, err := sys.RunMethod("mr", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.Close(); err != nil {
+			return nil, err
+		}
+		return &resultAndLog{res: res, log: buf.Bytes()}, nil
+	}
+
+	fast, err := run(true)
+	if err != nil {
+		t.Fatalf("fast-path run: %v", err)
+	}
+	slow, err := run(false)
+	if err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+	if !reflect.DeepEqual(fast.res, slow.res) {
+		t.Error("results differ between demand fast path and map-scan fallback")
+	}
+	postHeader := func(raw []byte) []byte {
+		return raw[bytes.IndexByte(raw, '\n')+1:]
+	}
+	if !bytes.Equal(postHeader(fast.log), postHeader(slow.log)) {
+		t.Error("event stream differs between demand fast path and map-scan fallback")
+	}
+}
+
+type resultAndLog struct {
+	res any
+	log []byte
+}

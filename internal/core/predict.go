@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"mobirescue/internal/geo"
 	"mobirescue/internal/mobility"
 	"mobirescue/internal/obs"
+	"mobirescue/internal/pop"
 	"mobirescue/internal/roadnet"
 	"mobirescue/internal/svm"
 	"mobirescue/internal/weather"
@@ -126,45 +126,30 @@ const (
 	MetricPredictSeconds    = "mobirescue_predict_window_seconds"
 )
 
-// personTrack is one person's cleaned, time-ordered GPS samples.
-type personTrack struct {
-	id    int
-	times []time.Time
-	pos   []geo.Point
-	// seg memoizes the nearest-segment lookup for the track's last
-	// evaluated position: people are stationary for most 5-minute
-	// windows, so the spatial-index ring search is skipped whenever the
-	// position is unchanged. The pointer is swapped atomically because
-	// concurrent Predict calls for different windows may touch the same
-	// track; the memo is a pure function of the position, so racing
-	// writers store equal values.
-	seg atomic.Pointer[segMemo]
-}
-
+// segMemo memoizes the nearest-segment lookup for one person's last
+// evaluated position: people are stationary for most 5-minute windows,
+// so the spatial-index ring search is skipped whenever the position is
+// unchanged. The pointer is swapped atomically because concurrent
+// Predict calls for different windows may touch the same person; the
+// memo is a pure function of the position, so racing writers store
+// equal values. Memos live in a dense index-addressed slice (one atomic
+// pointer per person), not a map — at metro scale a map-keyed memo is
+// O(people) of bucket overhead plus a hash per lookup.
 type segMemo struct {
 	pos geo.Point
 	seg roadnet.SegmentID
 }
 
-// posAt returns the person's last observed position at or before t (the
-// first observation when t precedes the trace).
-func (tr *personTrack) posAt(t time.Time) geo.Point {
-	idx := sort.Search(len(tr.times), func(i int) bool { return tr.times[i].After(t) }) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return tr.pos[idx]
-}
-
-// nearestSegment resolves the track's current position to a road
-// segment through the memo.
-func (tr *personTrack) nearestSegment(index *roadnet.SpatialIndex, pos geo.Point) roadnet.SegmentID {
-	if m := tr.seg.Load(); m != nil && m.pos == pos {
-		return m.seg
-	}
-	seg := index.NearestSegment(pos)
-	tr.seg.Store(&segMemo{pos: pos, seg: seg})
-	return seg
+// predictScratch is the per-worker reusable window scratch: the SVM
+// workspace plus a flat per-segment count column with its touched list.
+// The hot per-person loop increments counts[seg] — no map operations —
+// and the touched list turns the column back into the (sparse) result
+// map afterwards. Pooled so steady-state windows allocate only their
+// result maps.
+type predictScratch struct {
+	ws      *svm.Workspace
+	counts  []float64
+	touched []roadnet.SegmentID
 }
 
 // predictEntry is one singleflight window-cache slot: the first caller
@@ -194,23 +179,35 @@ type predictMetrics struct {
 //
 // Queries run the prediction fast path: per-window storm-series factors
 // (weather.FactorIndex), zero-allocation SVM decisions
-// (svm.Model.DecisionInto), memoized nearest-segment lookups for
-// stationary people, and a person loop sharded across SetWorkers
-// goroutines with per-shard accumulators merged in fixed shard order —
-// the predicted distribution is byte-identical for any worker count.
-// Windows are cached behind a singleflight so concurrent callers for
-// the same instant compute once; the cache is bounded (entries older
-// than the episode horizon, and beyond a hard cap, are evicted).
-// The provider is safe for concurrent use.
+// (svm.Model.DecisionInto), index-addressed memoized nearest-segment
+// lookups for stationary people, and a person loop over a columnar
+// pop.Source sharded along the region plan (pop.Regions — the paper's
+// council districts) across SetWorkers goroutines with per-shard
+// accumulators merged in fixed shard order. Per-person counts are small
+// integers, so the merged float64 sums are exact under any partition —
+// the predicted distribution is byte-identical for any worker count and
+// identical to the pre-columnar per-track path. Windows are cached
+// behind a singleflight so concurrent callers for the same instant
+// compute once; the cache is bounded (entries older than the episode
+// horizon, and beyond a hard cap, are evicted). The provider is safe
+// for concurrent use.
 type PredictProvider struct {
 	model   *svm.Model
 	storm   weather.Field
 	factors *weather.FactorIndex
 	elev    func(geo.Point) float64
-	byID    map[int]*personTrack
-	tracks  []*personTrack // sorted by person ID: the deterministic shard order
-	index   *roadnet.SpatialIndex
-	workers int
+
+	src    pop.Source
+	serial bool       // src implements pop.SerialWindows
+	winMu  sync.Mutex // serializes computeWindow for serial sources
+	// segs[i] memoizes person i's last nearest-segment resolution.
+	segs       []atomic.Pointer[segMemo]
+	plan       *pop.Regions
+	segRegion  []int32 // region per segment, for RegionTotals
+	numRegions int
+	index      *roadnet.SpatialIndex
+	workers    int
+	scratch    sync.Pool // of *predictScratch
 
 	// horizon bounds the cache: keys older than (newest key - horizon)
 	// are evicted. Defaults to the episode observation window plus the
@@ -226,44 +223,92 @@ type PredictProvider struct {
 	// mode: the obs counters are registry-global, but a pred_cache event
 	// needs this provider's own totals.
 	locHits, locMisses atomic.Int64
+	// regTotals is a one-entry cache for RegionTotals: every dispatcher
+	// round in a window queries the same instant, and the totals are
+	// deterministic, so racing writers store equal values.
+	regTotals atomic.Pointer[regionTotalsEntry]
 }
 
-// NewPredictProvider builds the provider over an episode's people traces.
+// regionTotalsEntry caches one instant's per-region totals.
+type regionTotalsEntry struct {
+	key    int64
+	totals []float64
+}
+
+// NewPredictProvider builds the provider over an episode's people
+// traces, flattened into a columnar pop.Store.
 func NewPredictProvider(city *roadnet.City, ep *Episode, model *svm.Model, elev func(geo.Point) float64) (*PredictProvider, error) {
 	if model == nil {
 		return nil, fmt.Errorf("core: SVM model required")
 	}
-	byID := make(map[int]*personTrack)
-	for _, pt := range ep.Data.Points {
-		tr := byID[pt.PersonID]
-		if tr == nil {
-			tr = &personTrack{id: pt.PersonID}
-			byID[pt.PersonID] = tr
-		}
-		tr.times = append(tr.times, pt.Time)
-		tr.pos = append(tr.pos, pt.Pos)
-	}
-	if len(byID) == 0 {
+	if len(ep.Data.Points) == 0 {
 		return nil, fmt.Errorf("core: episode has no GPS points")
 	}
-	tracks := make([]*personTrack, 0, len(byID))
-	for _, tr := range byID {
-		tracks = append(tracks, tr)
+	b := pop.NewBuilder()
+	for _, pt := range ep.Data.Points {
+		b.Add(pt.PersonID, pt.Time, pt.Pos)
 	}
-	sort.Slice(tracks, func(i, j int) bool { return tracks[i].id < tracks[j].id })
+	store, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building population store: %w", err)
+	}
 	horizon := time.Duration(ep.Data.Config.Days)*24*time.Hour + factorLookback
-	return &PredictProvider{
+	return NewPredictProviderFromSource(city, store, model, ep.Storm, elev, horizon)
+}
+
+// NewPredictProviderFromSource builds the provider over any population
+// source — a columnar pop.Store of observed traces or a streaming
+// synthetic population (mobility.Streamer). horizon bounds the window
+// cache; <= 0 keeps a day.
+func NewPredictProviderFromSource(city *roadnet.City, src pop.Source, model *svm.Model, storm weather.Field, elev func(geo.Point) float64, horizon time.Duration) (*PredictProvider, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: SVM model required")
+	}
+	if src == nil || src.NumPeople() == 0 {
+		return nil, fmt.Errorf("core: population source has no people")
+	}
+	if horizon <= 0 {
+		horizon = 24 * time.Hour
+	}
+	n := src.NumPeople()
+	g := city.Graph
+	numRegions := city.NumRegions()
+	// The shard plan groups people by council district so shards share
+	// flood cells and spatial-index neighborhoods. Any deterministic
+	// assignment works — shard boundaries never change results.
+	regionOf := func(int) int { return 0 }
+	if fp, ok := src.(pop.FirstPositions); ok && numRegions > 0 {
+		regionOf = func(i int) int { return city.RegionAt(fp.FirstPos(i)) }
+	}
+	serial := false
+	if sw, ok := src.(pop.SerialWindows); ok && sw.SerialWindows() {
+		serial = true
+	}
+	segRegion := make([]int32, g.NumSegments())
+	g.Segments(func(s roadnet.Segment) { segRegion[s.ID] = int32(s.Region) })
+	p := &PredictProvider{
 		model:      model,
-		storm:      ep.Storm,
-		factors:    weather.NewFactorIndex(ep.Storm, elev, factorLookback),
+		storm:      storm,
+		factors:    weather.NewFactorIndex(storm, elev, factorLookback),
 		elev:       elev,
-		byID:       byID,
-		tracks:     tracks,
-		index:      roadnet.NewSpatialIndex(city.Graph),
+		src:        src,
+		serial:     serial,
+		segs:       make([]atomic.Pointer[segMemo], n),
+		plan:       pop.NewRegions(n, numRegions, regionOf),
+		segRegion:  segRegion,
+		numRegions: numRegions,
+		index:      roadnet.NewSpatialIndex(g),
 		horizon:    horizon,
 		maxEntries: 4096,
 		cache:      make(map[int64]*predictEntry),
-	}, nil
+	}
+	p.scratch.New = func() any {
+		return &predictScratch{
+			ws:     svm.NewWorkspace(),
+			counts: make([]float64, g.NumSegments()),
+		}
+	}
+	return p, nil
 }
 
 // SetWorkers bounds the per-window person-loop parallelism: 0 means
@@ -364,40 +409,46 @@ func (p *PredictProvider) evictLocked(newKey int64) {
 }
 
 // computeWindow runs the per-person prediction loop for one window,
-// sharding the sorted track list across the worker bound. Each shard
-// accumulates into a private map; shards are merged in fixed shard
-// order. Per-person counts are small integers, so the merged sums are
-// exact and the result is byte-identical for any worker count.
+// cutting the region-ordered plan into shards bounded by the worker
+// count. Each shard accumulates into a private map; shards merge in
+// fixed plan order. Per-person counts are small integers, so the merged
+// sums are exact and the result is byte-identical for any worker count
+// (and for the pre-columnar ID-ordered partition).
 func (p *PredictProvider) computeWindow(t time.Time) map[roadnet.SegmentID]float64 {
-	workers := p.effectiveWorkers()
-	if workers > len(p.tracks) {
-		workers = len(p.tracks)
+	if p.serial {
+		p.winMu.Lock()
+		defer p.winMu.Unlock()
 	}
-	if workers <= 1 {
-		out := make(map[roadnet.SegmentID]float64)
-		p.predictShard(p.tracks, t, out)
+	workers := p.effectiveWorkers()
+	if n := p.src.NumPeople(); workers > n {
+		workers = n
+	}
+	out := make(map[roadnet.SegmentID]float64)
+	shards := p.plan.Shards(workers)
+	if workers <= 1 || len(shards) <= 1 {
+		for _, sh := range shards {
+			p.predictRange(sh.Start, sh.End, t, out)
+		}
 		return out
 	}
-	shards := make([]map[roadnet.SegmentID]float64, workers)
+	// The plan may cut a few more shards than workers (region-aligned
+	// boundaries); a semaphore keeps the requested parallelism bound.
+	results := make([]map[roadnet.SegmentID]float64, len(shards))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	per := (len(p.tracks) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > len(p.tracks) {
-			hi = len(p.tracks)
-		}
-		go func(w, lo, hi int) {
+	wg.Add(len(shards))
+	for si, sh := range shards {
+		go func(si int, sh pop.Shard) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			m := make(map[roadnet.SegmentID]float64)
-			p.predictShard(p.tracks[lo:hi], t, m)
-			shards[w] = m
-		}(w, lo, hi)
+			p.predictRange(sh.Start, sh.End, t, m)
+			results[si] = m
+		}(si, sh)
 	}
 	wg.Wait()
-	out := make(map[roadnet.SegmentID]float64)
-	for _, m := range shards { // fixed shard order
+	for _, m := range results { // fixed plan order
 		for seg, n := range m {
 			out[seg] += n
 		}
@@ -405,28 +456,53 @@ func (p *PredictProvider) computeWindow(t time.Time) map[roadnet.SegmentID]float
 	return out
 }
 
-// predictShard evaluates one contiguous slice of tracks into out using
-// shard-private scratch (SVM workspace, factor vector) so the hot loop
-// allocates nothing per person.
-func (p *PredictProvider) predictShard(tracks []*personTrack, t time.Time, out map[roadnet.SegmentID]float64) {
-	ws := svm.NewWorkspace()
+// predictRange evaluates plan positions [start, end) into out. The
+// per-person loop touches only flat columns — positions from the
+// source, pooled SVM workspace, index-addressed segment memos, and a
+// per-segment count column — so it performs no map operations and no
+// allocations; the sparse result map is built once from the touched
+// list afterwards.
+func (p *PredictProvider) predictRange(start, end int, t time.Time, out map[roadnet.SegmentID]float64) {
+	s := p.scratch.Get().(*predictScratch)
+	unixNano := t.UnixNano()
 	var vec [3]float64
 	positives := 0
-	for _, tr := range tracks {
-		pos := tr.posAt(t)
+	for k := start; k < end; k++ {
+		i := p.plan.At(k)
+		pos := p.src.PosAt(i, unixNano)
 		p.factors.FactorsInto(vec[:], pos, t)
-		if !p.model.PredictInto(ws, vec[:]) {
+		if !p.model.PredictInto(s.ws, vec[:]) {
 			continue
 		}
 		positives++
-		seg := tr.nearestSegment(p.index, pos)
+		seg := p.nearestSegment(i, pos)
 		if seg == roadnet.NoSegment {
 			continue
 		}
-		out[seg]++
+		if s.counts[seg] == 0 {
+			s.touched = append(s.touched, seg)
+		}
+		s.counts[seg]++
 	}
-	p.met.persons.Add(int64(len(tracks)))
+	for _, seg := range s.touched {
+		out[seg] += s.counts[seg]
+		s.counts[seg] = 0
+	}
+	s.touched = s.touched[:0]
+	p.scratch.Put(s)
+	p.met.persons.Add(int64(end - start))
 	p.met.positives.Add(int64(positives))
+}
+
+// nearestSegment resolves person i's current position to a road segment
+// through the index-addressed memo.
+func (p *PredictProvider) nearestSegment(i int, pos geo.Point) roadnet.SegmentID {
+	if m := p.segs[i].Load(); m != nil && m.pos == pos {
+		return m.seg
+	}
+	seg := p.index.NearestSegment(pos)
+	p.segs[i].Store(&segMemo{pos: pos, seg: seg})
+	return seg
 }
 
 // PredictReference is the pre-fast-path Predict implementation — an
@@ -437,8 +513,9 @@ func (p *PredictProvider) predictShard(tracks []*personTrack, t time.Time, out m
 // measures the >=5x single-thread speedup against.
 func (p *PredictProvider) PredictReference(t time.Time) map[roadnet.SegmentID]float64 {
 	out := make(map[roadnet.SegmentID]float64)
-	for _, tr := range p.tracks {
-		pos := tr.posAt(t)
+	unixNano := t.UnixNano()
+	for i := 0; i < p.src.NumPeople(); i++ {
+		pos := p.src.PosAt(i, unixNano)
 		factors := weather.WindowFactors(p.storm, p.elev, pos, t, factorLookback)
 		if p.model.DecisionReference(factors.Vector()) < 0 {
 			continue
@@ -480,18 +557,54 @@ func (p *PredictProvider) CacheCounters() (hits, misses int64) {
 }
 
 // NumPeople returns how many tracked people the provider predicts over.
-func (p *PredictProvider) NumPeople() int { return len(p.tracks) }
+func (p *PredictProvider) NumPeople() int { return p.src.NumPeople() }
+
+// Source returns the population source the provider predicts over.
+func (p *PredictProvider) Source() pop.Source { return p.src }
+
+// ShardPlan returns the region-ordered shard plan (people grouped by
+// council district; the pop.Regions tree generalizes the paper's flat
+// 7-district split).
+func (p *PredictProvider) ShardPlan() *pop.Regions { return p.plan }
+
+// RegionTotals returns the per-region sums of the predicted
+// distribution at t: totals[r] for regions 1..NumRegions, index 0
+// unused. Segments without a valid region are dropped, mirroring
+// dispatch's regionDemand filter. The sums are integer-exact, so the
+// totals are byte-identical to aggregating the Predict map in any
+// order.
+// The returned slice is shared and must not be mutated.
+func (p *PredictProvider) RegionTotals(t time.Time) []float64 {
+	key := t.Unix()
+	if e := p.regTotals.Load(); e != nil && e.key == key {
+		return e.totals
+	}
+	pred := p.Predict(t)
+	totals := make([]float64, p.numRegions+1)
+	for seg, n := range pred {
+		if n <= 0 || seg < 0 || int(seg) >= len(p.segRegion) {
+			continue
+		}
+		r := int(p.segRegion[seg])
+		if r < 1 || r > p.numRegions {
+			continue
+		}
+		totals[r] += n
+	}
+	p.regTotals.Store(&regionTotalsEntry{key: key, totals: totals})
+	return totals
+}
 
 // PredictPerson returns the SVM decision for one person at time t, used
 // by the prediction-quality experiments (Figures 15–16). It shares the
 // window fast path (indexed factors, zero-alloc decision) and is
 // byte-identical to the per-person step Predict performs.
 func (p *PredictProvider) PredictPerson(personID int, t time.Time) (bool, geo.Point, bool) {
-	tr, ok := p.byID[personID]
-	if !ok {
+	i := p.src.IndexOf(personID)
+	if i < 0 {
 		return false, geo.Point{}, false
 	}
-	pos := tr.posAt(t)
+	pos := p.src.PosAt(i, t.UnixNano())
 	var vec [3]float64
 	p.factors.FactorsInto(vec[:], pos, t)
 	return p.model.Predict(vec[:]), pos, true

@@ -179,25 +179,24 @@ func TestPredictPerson(t *testing.T) {
 	// step (naive factors + reference kernel sum) for every tracked
 	// person, and repeated queries must be stable.
 	checked := 0
-	for _, tr := range p.tracks {
-		pred, pos, ok := p.PredictPerson(tr.id, at)
+	src := p.Source()
+	for i := 0; i < src.NumPeople() && checked < 200; i++ {
+		id := src.ID(i)
+		pred, pos, ok := p.PredictPerson(id, at)
 		if !ok {
-			t.Fatalf("person %d: not found", tr.id)
+			t.Fatalf("person %d: not found", id)
 		}
-		if pos != tr.posAt(at) {
-			t.Fatalf("person %d: position mismatch", tr.id)
+		if pos != src.PosAt(i, at.UnixNano()) {
+			t.Fatalf("person %d: position mismatch", id)
 		}
 		wantPred := p.model.DecisionReference(weather.WindowFactors(p.storm, p.elev, pos, at, factorLookback).Vector()) >= 0
 		if pred != wantPred {
-			t.Fatalf("person %d: PredictPerson=%v, reference=%v", tr.id, pred, wantPred)
+			t.Fatalf("person %d: PredictPerson=%v, reference=%v", id, pred, wantPred)
 		}
-		if pred2, pos2, ok2 := p.PredictPerson(tr.id, at); pred2 != pred || pos2 != pos || !ok2 {
-			t.Fatalf("person %d: unstable across repeated calls", tr.id)
+		if pred2, pos2, ok2 := p.PredictPerson(id, at); pred2 != pred || pos2 != pos || !ok2 {
+			t.Fatalf("person %d: unstable across repeated calls", id)
 		}
 		checked++
-		if checked >= 200 {
-			break
-		}
 	}
 	if checked == 0 {
 		t.Fatal("no people checked")

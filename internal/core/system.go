@@ -231,7 +231,24 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 	}
 	mr.EnableMetrics(cfg.Metrics)
 	sys.MR = mr
+	sys.installDemandSource()
 	return sys, nil
+}
+
+// installDemandSource wires MR's region-sharded demand fast path: the
+// per-region state vector comes from the provider's pre-aggregated
+// totals, bit-identical to aggregating the predicted map. Chaos
+// prediction noise perturbs the per-segment map after the provider, so
+// with noise active the source is removed and MR falls back to
+// aggregating what it actually sees.
+func (s *System) installDemandSource() {
+	if s.Config.Chaos.Enabled() && s.Config.Chaos.PredictNoise > 0 {
+		s.MR.SetDemandSource(nil)
+		return
+	}
+	s.MR.SetDemandSource(func(t time.Time) []float64 {
+		return s.activeProvider(t).RegionTotals(t)
+	})
 }
 
 func cfgCapacity(c sim.Config) int {
@@ -325,6 +342,7 @@ func (s *System) SetChaos(p chaos.Profile, seed int64) error {
 	s.Config.Chaos = p
 	s.Config.ChaosSeed = seed
 	s.activePredict = chaos.NoisyPredict(p, seed, s.basePredict)
+	s.installDemandSource()
 	return nil
 }
 

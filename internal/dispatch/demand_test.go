@@ -1,0 +1,106 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobirescue/internal/roadnet"
+)
+
+// TestDemandVectorMatchesRegionDemand pins the demand fast path's
+// bit-identity contract: with a demand source installed that serves the
+// provider-side aggregation (regionDemand over the base prediction),
+// demandVector must produce exactly the vector the map-scan fallback
+// produces — including the +10 active-request adjustment and the
+// validity filters — for randomized predictions that contain zero
+// counts, out-of-range segments, and requests on invalid segments.
+func TestDemandVectorMatchesRegionDemand(t *testing.T) {
+	city := testCity(t)
+	g := city.Graph
+	numRegions := city.NumRegions()
+	rng := rand.New(rand.NewSource(8))
+
+	for trial := 0; trial < 64; trial++ {
+		// Base prediction: small integer counts, some zeros, some
+		// segments past the graph bounds (regionDemand must drop both).
+		base := make(map[roadnet.SegmentID]float64)
+		for i := 0; i < 40; i++ {
+			seg := roadnet.SegmentID(rng.Intn(g.NumSegments() + 16))
+			base[seg] = float64(rng.Intn(5))
+		}
+		// Active requests: mostly valid segments, some invalid.
+		var reqSegs []roadnet.SegmentID
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			if rng.Intn(4) == 0 {
+				reqSegs = append(reqSegs, roadnet.SegmentID(g.NumSegments()+rng.Intn(8)))
+			} else {
+				reqSegs = append(reqSegs, roadnet.SegmentID(rng.Intn(g.NumSegments())))
+			}
+		}
+		snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot}, reqSegs)
+
+		m, err := NewMobiRescue(numRegions, constPredict(base), DefaultMRConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// pred as Decide builds it: base plus +10 per active request
+		// (unconditionally — regionDemand filters invalid segments).
+		pred := make(map[roadnet.SegmentID]float64, len(base))
+		for seg, n := range base {
+			pred[seg] = n
+		}
+		for _, rq := range snap.ActiveRequests {
+			pred[rq.Seg] += 10
+		}
+
+		m.SetDemandSource(func(time.Time) []float64 {
+			return regionDemand(g, base, numRegions)
+		})
+		fast := m.demandVector(snap, pred)
+		m.SetDemandSource(nil)
+		slow := m.demandVector(snap, pred)
+
+		if len(fast) != len(slow) {
+			t.Fatalf("trial %d: length mismatch: fast %d, slow %d", trial, len(fast), len(slow))
+		}
+		for r := range fast {
+			if fast[r] != slow[r] {
+				t.Fatalf("trial %d region %d: fast path %v != fallback %v", trial, r, fast[r], slow[r])
+			}
+		}
+	}
+}
+
+// TestDemandVectorRejectsWrongLength verifies a demand source returning
+// a vector of the wrong length is ignored in favor of the map-scan
+// fallback rather than corrupting the RL state.
+func TestDemandVectorRejectsWrongLength(t *testing.T) {
+	city := testCity(t)
+	g := city.Graph
+	numRegions := city.NumRegions()
+	byRegion := g.SegmentIDsByRegion()
+	base := map[roadnet.SegmentID]float64{
+		byRegion[1][0]: 2,
+		byRegion[3][0]: 7,
+	}
+	snap := testSnapshot(t, city, []roadnet.LandmarkID{city.Depot}, nil)
+
+	m, err := NewMobiRescue(numRegions, constPredict(base), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDemandSource(func(time.Time) []float64 {
+		return make([]float64, 3) // wrong length: must be ignored
+	})
+	got := m.demandVector(snap, base)
+	want := regionDemand(g, base, numRegions)
+	if len(got) != len(want) {
+		t.Fatalf("length = %d, want %d", len(got), len(want))
+	}
+	for r := range got {
+		if got[r] != want[r] {
+			t.Fatalf("region %d: got %v, want fallback %v", r, got[r], want[r])
+		}
+	}
+}

@@ -32,6 +32,14 @@ import (
 // by the SVM stage.
 type PredictFn func(t time.Time) map[roadnet.SegmentID]float64
 
+// DemandFn returns pre-aggregated per-region totals of the predicted
+// distribution at t (index 0 unused, length numRegions+1). The
+// prediction provider computes these region-sharded during the window
+// pass; because per-person counts are small integers the totals are
+// bit-identical to aggregating the PredictFn map with regionDemand. The
+// returned slice is shared — callers must not mutate it.
+type DemandFn func(t time.Time) []float64
+
 // prefetchTrees warms r's epoch-scoped shortest-path tree cache for the
 // head landmark of every given vehicle, computing missing trees in
 // parallel across the router's worker bound. Dispatch decision loops

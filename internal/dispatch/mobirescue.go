@@ -92,8 +92,13 @@ type decision struct {
 //
 // MobiRescue is not safe for concurrent use.
 type MobiRescue struct {
-	cfg        MRConfig
-	predict    PredictFn
+	cfg     MRConfig
+	predict PredictFn
+	// demand, when set, supplies pre-aggregated per-region totals of the
+	// un-adjusted prediction, replacing Decide's sorted-key regionDemand
+	// scan (see SetDemandSource). Nil falls back to aggregating the
+	// predict map.
+	demand     DemandFn
 	numRegions int
 	// agent is the central learner; nil on actor views (see ActorView).
 	agent *rl.DQN
@@ -155,6 +160,7 @@ func (m *MobiRescue) ActorView(p rl.Policy) *MobiRescue {
 	return &MobiRescue{
 		cfg:        m.cfg,
 		predict:    m.predict,
+		demand:     m.demand,
 		numRegions: m.numRegions,
 		policy:     p,
 		training:   true,
@@ -162,6 +168,16 @@ func (m *MobiRescue) ActorView(p rl.Policy) *MobiRescue {
 		assigned:   make(map[sim.VehicleID]roadnet.SegmentID),
 	}
 }
+
+// SetDemandSource installs (or, with nil, removes) a pre-aggregated
+// region-demand source. When set, Decide derives its per-region state
+// from fn's totals plus the active-request adjustment instead of
+// re-aggregating the full predicted map — the demand is bit-identical
+// (integer-exact sums) but costs O(regions + requests) per round
+// instead of a sorted scan over every predicted segment. The source
+// must aggregate the same prediction Decide's PredictFn serves; callers
+// layering noise over the prediction (chaos) must remove the source.
+func (m *MobiRescue) SetDemandSource(fn DemandFn) { m.demand = fn }
 
 // Name implements sim.Dispatcher.
 func (m *MobiRescue) Name() string { return "MobiRescue" }
@@ -317,6 +333,32 @@ func (m *MobiRescue) buildState(snap *sim.Snapshot, v sim.VehicleState, demand [
 	return state
 }
 
+// demandVector derives the per-region demand vector for the RL state.
+// With a demand source installed it starts from the provider's
+// pre-aggregated totals and applies the +10 active-request adjustment
+// under the same validity filters the map aggregation uses; per-person
+// counts and the adjustment are integers, so float64 sums are exact and
+// both paths produce bit-identical vectors.
+func (m *MobiRescue) demandVector(snap *sim.Snapshot, pred map[roadnet.SegmentID]float64) []float64 {
+	g := snap.City.Graph
+	if m.demand != nil {
+		if base := m.demand(snap.Time); len(base) == m.numRegions+1 {
+			out := make([]float64, m.numRegions+1)
+			copy(out, base)
+			for _, rq := range snap.ActiveRequests {
+				if int(rq.Seg) < 0 || int(rq.Seg) >= g.NumSegments() {
+					continue
+				}
+				if r := g.Segment(rq.Seg).Region; r >= 1 && r <= m.numRegions {
+					out[r] += 10
+				}
+			}
+			return out
+		}
+	}
+	return regionDemand(g, pred, m.numRegions)
+}
+
 // Decide implements sim.Dispatcher.
 func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	// The state's "current distribution of potential rescue requests"
@@ -331,7 +373,7 @@ func (m *MobiRescue) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
 	for _, rq := range snap.ActiveRequests {
 		pred[rq.Seg] += 10
 	}
-	demand := regionDemand(snap.City.Graph, pred, m.numRegions)
+	demand := m.demandVector(snap, pred)
 	// The civilian-operability view distinguishes genuinely open roads
 	// from flooded ones the rescue cost model merely crawls through.
 	var baseCost roadnet.CostModel = snap.Cost

@@ -241,6 +241,17 @@ func generatePeople(rng *rand.Rand, city *roadnet.City, n int, downtownShare flo
 	jitter := func(p geo.Point) geo.Point {
 		return geo.Destination(p, rng.Float64()*360, rng.Float64()*250)
 	}
+	// Exact grid index for the isolated-landmark fallback below; built
+	// lazily because most homes anchor to an outgoing segment directly.
+	// SegmentIndex returns bit-identical answers to Graph.NearestSegment,
+	// so populations are unchanged by the swap.
+	var segIdx *roadnet.SegmentIndex
+	nearestSeg := func(p geo.Point) roadnet.SegmentID {
+		if segIdx == nil {
+			segIdx = roadnet.NewSegmentIndex(g)
+		}
+		return segIdx.NearestSegment(p)
+	}
 	people := make([]Person, n)
 	downtown := byRegion[roadnet.DowntownRegion]
 	for i := range people {
@@ -258,7 +269,7 @@ func generatePeople(rng *rand.Rand, city *roadnet.City, n int, downtownShare flo
 		if out := g.Out(homeLM); len(out) > 0 {
 			homeSeg = out[0]
 		} else {
-			homeSeg = g.NearestSegment(home)
+			homeSeg = nearestSeg(home)
 		}
 		people[i] = Person{
 			ID:         i,

@@ -1,0 +1,72 @@
+package obs
+
+import "runtime"
+
+// Memory metric names (see README "Observability"). These are process-
+// wide runtime readings, so they carry no method label.
+const (
+	MetricMemHeapInuse  = "mobirescue_mem_heap_inuse_bytes"
+	MetricMemTotalAlloc = "mobirescue_mem_total_alloc_bytes"
+	MetricMemGCTotal    = "mobirescue_mem_gc_total"
+)
+
+// MemSnapshot is one reading of the Go runtime's memory accounting —
+// the three numbers the metro-scale benchmarks track.
+type MemSnapshot struct {
+	// HeapInuseBytes is live heap memory (spans in use).
+	HeapInuseBytes uint64
+	// TotalAllocBytes is cumulative bytes allocated (monotonic).
+	TotalAllocBytes uint64
+	// NumGC is the number of completed GC cycles (monotonic).
+	NumGC uint32
+}
+
+// ReadMem takes a memory snapshot. It calls runtime.ReadMemStats, which
+// briefly stops the world — call it at window boundaries or around
+// benchmark sections, never inside per-person hot loops.
+func ReadMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		HeapInuseBytes:  ms.HeapInuse,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+	}
+}
+
+// MemGauges exposes the runtime memory readings as registry gauges,
+// refreshed by Observe. A nil *MemGauges (metrics disabled) is valid:
+// Observe is a no-op, so callers never branch.
+type MemGauges struct {
+	heapInuse  *Gauge
+	totalAlloc *Gauge
+	gcTotal    *Gauge
+}
+
+// NewMemGauges registers the memory gauges. A nil registry returns nil.
+func NewMemGauges(reg *Registry) *MemGauges {
+	if reg == nil {
+		return nil
+	}
+	return &MemGauges{
+		heapInuse: reg.Gauge(MetricMemHeapInuse,
+			"Live heap memory at the last window boundary."),
+		totalAlloc: reg.Gauge(MetricMemTotalAlloc,
+			"Cumulative bytes allocated by the process."),
+		gcTotal: reg.Gauge(MetricMemGCTotal,
+			"Completed garbage-collection cycles."),
+	}
+}
+
+// Observe refreshes the gauges from the runtime and returns the
+// snapshot it recorded (the zero snapshot when disabled).
+func (m *MemGauges) Observe() MemSnapshot {
+	if m == nil {
+		return MemSnapshot{}
+	}
+	s := ReadMem()
+	m.heapInuse.Set(float64(s.HeapInuseBytes))
+	m.totalAlloc.Set(float64(s.TotalAllocBytes))
+	m.gcTotal.Set(float64(s.NumGC))
+	return s
+}

@@ -1,0 +1,254 @@
+package pop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"mobirescue/internal/geo"
+)
+
+// naiveTrack mirrors the seed pipeline's per-person track: a slice of
+// (time, pos) with the last-at-or-before lookup.
+type naiveTrack struct {
+	times []time.Time
+	pos   []geo.Point
+}
+
+func (tr *naiveTrack) posAt(t time.Time) geo.Point {
+	idx := sort.Search(len(tr.times), func(i int) bool { return tr.times[i].After(t) }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return tr.pos[idx]
+}
+
+func buildRandom(t *testing.T, seed int64, people int) (*Store, map[int]*naiveTrack) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	ref := make(map[int]*naiveTrack)
+	base := time.Date(2018, 9, 10, 0, 0, 0, 0, time.UTC)
+	for id := 0; id < people; id++ {
+		n := 1 + rng.Intn(20)
+		tr := &naiveTrack{}
+		at := base.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		for k := 0; k < n; k++ {
+			p := geo.Point{Lat: 35 + rng.Float64(), Lon: -81 + rng.Float64()}
+			b.Add(id, at, p)
+			tr.times = append(tr.times, at)
+			tr.pos = append(tr.pos, p)
+			at = at.Add(time.Duration(1+rng.Intn(7200)) * time.Second)
+		}
+		ref[id] = tr
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, ref
+}
+
+// TestStoreMatchesNaiveTracks pins the CSR lookup to the seed
+// pipeline's per-track posAt semantics: last sample at or before t,
+// clamped to the first sample, with exact boundary behavior at sample
+// instants.
+func TestStoreMatchesNaiveTracks(t *testing.T) {
+	s, ref := buildRandom(t, 7, 200)
+	if !s.Dense() {
+		t.Fatalf("sequential IDs should be dense")
+	}
+	rng := rand.New(rand.NewSource(99))
+	base := time.Date(2018, 9, 9, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < s.NumPeople(); i++ {
+		id := s.ID(i)
+		tr := ref[id]
+		// Random probes plus exact sample instants and one-nanosecond
+		// boundaries around them.
+		probes := []time.Time{base, base.Add(90 * 24 * time.Hour)}
+		for k := 0; k < 20; k++ {
+			probes = append(probes, base.Add(time.Duration(rng.Intn(20*24*3600))*time.Second))
+		}
+		for _, st := range tr.times {
+			probes = append(probes, st, st.Add(-time.Nanosecond), st.Add(time.Nanosecond))
+		}
+		for _, p := range probes {
+			want := tr.posAt(p)
+			got := s.PosAt(i, p.UnixNano())
+			if got != want {
+				t.Fatalf("person %d at %v: got %v want %v", id, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreIndexOf(t *testing.T) {
+	b := NewBuilder()
+	at := time.Unix(1000, 0)
+	for _, id := range []int{40, 10, 30} { // sparse, out of order
+		b.Add(id, at, geo.Point{Lat: float64(id)})
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dense() {
+		t.Fatalf("sparse IDs reported dense")
+	}
+	wantIDs := []int{10, 30, 40}
+	for i, id := range wantIDs {
+		if s.ID(i) != id {
+			t.Fatalf("ID(%d) = %d, want %d", i, s.ID(i), id)
+		}
+		if got := s.IndexOf(id); got != i {
+			t.Fatalf("IndexOf(%d) = %d, want %d", id, got, i)
+		}
+	}
+	for _, id := range []int{-1, 0, 11, 50} {
+		if got := s.IndexOf(id); got != -1 {
+			t.Fatalf("IndexOf(%d) = %d, want -1", id, got)
+		}
+	}
+
+	dense, _ := buildRandom(t, 3, 50)
+	for i := 0; i < dense.NumPeople(); i++ {
+		if dense.IndexOf(dense.ID(i)) != i {
+			t.Fatalf("dense IndexOf mismatch at %d", i)
+		}
+	}
+	if dense.IndexOf(-1) != -1 || dense.IndexOf(dense.NumPeople()) != -1 {
+		t.Fatalf("dense IndexOf out-of-range should be -1")
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatalf("empty builder should error")
+	}
+}
+
+// TestPosAtZeroAlloc pins the hot lookup at zero allocations.
+func TestPosAtZeroAlloc(t *testing.T) {
+	s, _ := buildRandom(t, 11, 50)
+	at := time.Date(2018, 9, 12, 6, 0, 0, 0, time.UTC).UnixNano()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < s.NumPeople(); i++ {
+			_ = s.PosAt(i, at)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PosAt allocates %v per sweep, want 0", allocs)
+	}
+}
+
+func TestRegionsOrderAndShards(t *testing.T) {
+	const n = 1000
+	const numRegions = 7
+	regionOf := func(i int) int {
+		switch {
+		case i%97 == 0:
+			return 0 // unassigned
+		case i%101 == 0:
+			return 99 // out of range -> unassigned
+		default:
+			return 1 + i%numRegions
+		}
+	}
+	r := NewRegions(n, numRegions, regionOf)
+
+	// Every person appears exactly once, grouped by region, ascending
+	// index within a region.
+	seen := make([]bool, n)
+	lastReg, lastIdx := -1, -1
+	total := 0
+	for k := 0; k < r.Len(); k++ {
+		i := r.At(k)
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+		reg := r.RegionOf(i)
+		if reg < lastReg {
+			t.Fatalf("region order regressed: %d after %d", reg, lastReg)
+		}
+		if reg > lastReg {
+			lastReg, lastIdx = reg, -1
+		}
+		if i <= lastIdx {
+			t.Fatalf("index order within region %d regressed", reg)
+		}
+		lastIdx = i
+		total++
+	}
+	if total != n {
+		t.Fatalf("order covers %d of %d people", total, n)
+	}
+	counts := 0
+	for reg := 0; reg <= numRegions; reg++ {
+		counts += r.CountIn(reg)
+	}
+	if counts != n {
+		t.Fatalf("region counts sum to %d, want %d", counts, n)
+	}
+
+	for _, maxShards := range []int{1, 2, 4, 8, 16, 1000} {
+		shards := r.Shards(maxShards)
+		covered := 0
+		prevEnd := 0
+		for _, sh := range shards {
+			if sh.Start != prevEnd {
+				t.Fatalf("maxShards=%d: shard starts at %d, want %d", maxShards, sh.Start, prevEnd)
+			}
+			if sh.End <= sh.Start {
+				t.Fatalf("maxShards=%d: empty shard %+v", maxShards, sh)
+			}
+			covered += sh.End - sh.Start
+			prevEnd = sh.End
+		}
+		if covered != n {
+			t.Fatalf("maxShards=%d: shards cover %d of %d", maxShards, covered, n)
+		}
+	}
+	if got := len(r.Shards(1)); got < 1 {
+		t.Fatalf("Shards(1) returned %d shards", got)
+	}
+}
+
+func TestRegionTree(t *testing.T) {
+	const n = 500
+	r := NewRegions(n, 7, func(i int) int { return 1 + i%7 })
+	tree := r.Tree(64)
+	if tree.People() != n {
+		t.Fatalf("root covers %d, want %d", tree.People(), n)
+	}
+	// Walk: children partition the parent exactly; leaves respect the
+	// size bound unless they are single regions.
+	var walk func(node *TreeNode)
+	var leaves int
+	walk = func(node *TreeNode) {
+		if len(node.Children) == 0 {
+			leaves++
+			if node.People() > 64 && node.Lo != node.Hi {
+				t.Fatalf("multi-region leaf %+v exceeds bound", node)
+			}
+			return
+		}
+		people, start := 0, node.Start
+		for _, c := range node.Children {
+			if c.Start != start {
+				t.Fatalf("child %+v does not continue parent range", c)
+			}
+			start = c.End
+			people += c.People()
+			walk(c)
+		}
+		if start != node.End || people != node.People() {
+			t.Fatalf("children of %+v do not partition it", node)
+		}
+	}
+	walk(tree)
+	if leaves < 2 {
+		t.Fatalf("tree degenerate: %d leaves", leaves)
+	}
+}

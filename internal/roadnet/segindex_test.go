@@ -1,0 +1,178 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobirescue/internal/geo"
+)
+
+// linearNearestWithTies replicates Graph.NearestSegment and also
+// reports every segment whose FastDistance ties the minimum bit-for-bit,
+// so tests can assert the index's tie-break (lowest ID) independently.
+func linearNearestWithTies(g *Graph, p geo.Point) (SegmentID, []SegmentID) {
+	best := NoSegment
+	bestD := math.Inf(1)
+	for sid := 0; sid < g.NumSegments(); sid++ {
+		d := geo.FastDistance(p, g.SegmentMidpoint(SegmentID(sid)))
+		if d < bestD {
+			bestD = d
+			best = SegmentID(sid)
+		}
+	}
+	var ties []SegmentID
+	for sid := 0; sid < g.NumSegments(); sid++ {
+		if geo.FastDistance(p, g.SegmentMidpoint(SegmentID(sid))) == bestD {
+			ties = append(ties, SegmentID(sid))
+		}
+	}
+	return best, ties
+}
+
+func checkEquivalence(t *testing.T, g *Graph, idx *SegmentIndex, p geo.Point) {
+	t.Helper()
+	want, ties := linearNearestWithTies(g, p)
+	got := idx.NearestSegment(p)
+	if got != want {
+		t.Fatalf("NearestSegment(%v): index %d, linear scan %d (ties %v)", p, got, want, ties)
+	}
+	if len(ties) > 0 && want != ties[0] {
+		t.Fatalf("linear scan at %v returned %d, not lowest tie %v", p, want, ties)
+	}
+}
+
+// TestSegmentIndexMatchesLinearScanCity probes the generated city with
+// random points inside, near, and far outside the network, plus every
+// segment midpoint (the densest source of exact FP ties, since the two
+// directions of a road share a midpoint).
+func TestSegmentIndexMatchesLinearScanCity(t *testing.T) {
+	city, err := GenerateCity(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := city.Graph
+	idx := NewSegmentIndex(g)
+	bbox := g.BBox()
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k < 2000; k++ {
+		p := geo.Point{
+			Lat: bbox.MinLat + rng.Float64()*(bbox.MaxLat-bbox.MinLat),
+			Lon: bbox.MinLon + rng.Float64()*(bbox.MaxLon-bbox.MinLon),
+		}
+		checkEquivalence(t, g, idx, p)
+	}
+	// Points straddling and beyond the padded bbox exercise cell
+	// clamping and the outside-the-grid bound.
+	for k := 0; k < 200; k++ {
+		p := geo.Point{
+			Lat: bbox.MinLat - 0.2 + rng.Float64()*(bbox.MaxLat-bbox.MinLat+0.4),
+			Lon: bbox.MinLon - 0.2 + rng.Float64()*(bbox.MaxLon-bbox.MinLon+0.4),
+		}
+		checkEquivalence(t, g, idx, p)
+	}
+	for _, p := range []geo.Point{
+		{Lat: 0, Lon: 0},
+		{Lat: 35.2271, Lon: -75},
+		{Lat: 80, Lon: -80.8431},
+		{Lat: -35, Lon: 100},
+	} {
+		checkEquivalence(t, g, idx, p)
+	}
+	for sid := 0; sid < g.NumSegments(); sid++ {
+		checkEquivalence(t, g, idx, g.SegmentMidpoint(SegmentID(sid)))
+	}
+}
+
+// TestSegmentIndexMatchesLinearScanRandomGraphs fuzzes small random
+// graphs, where cells are sparse and ties frequent.
+func TestSegmentIndexMatchesLinearScanRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := NewGraph()
+		nLM := 2 + rng.Intn(40)
+		for i := 0; i < nLM; i++ {
+			g.AddLandmark(geo.Point{
+				Lat: 35 + rng.Float64()*0.3,
+				Lon: -81 + rng.Float64()*0.3,
+			}, 200, 1+rng.Intn(7))
+		}
+		nSeg := 1 + rng.Intn(60)
+		for s := 0; s < nSeg; s++ {
+			a := LandmarkID(rng.Intn(nLM))
+			b := LandmarkID(rng.Intn(nLM))
+			if a == b {
+				continue
+			}
+			if _, err := g.AddSegment(a, b, 0, 0, ClassResidential); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if g.NumSegments() == 0 {
+			continue
+		}
+		idx := NewSegmentIndex(g)
+		for k := 0; k < 200; k++ {
+			p := geo.Point{
+				Lat: 34.9 + rng.Float64()*0.5,
+				Lon: -81.1 + rng.Float64()*0.5,
+			}
+			checkEquivalence(t, g, idx, p)
+		}
+		for sid := 0; sid < g.NumSegments(); sid++ {
+			checkEquivalence(t, g, idx, g.SegmentMidpoint(SegmentID(sid)))
+		}
+	}
+}
+
+// TestSegmentIndexTieBreak constructs exact FP distance ties and checks
+// the lowest segment ID wins, matching the linear scan's strict-less
+// replacement rule.
+func TestSegmentIndexTieBreak(t *testing.T) {
+	g := NewGraph()
+	// Two roads symmetric about the origin along the meridian: their
+	// midpoints are (±0.015, 0), equidistant from (0, 0) bit-for-bit
+	// (FastDistance collapses to R*|dLat_rad| at dLon = 0).
+	n0 := g.AddLandmark(geo.Point{Lat: 0.01, Lon: 0}, 0, 1)
+	n1 := g.AddLandmark(geo.Point{Lat: 0.02, Lon: 0}, 0, 1)
+	n2 := g.AddLandmark(geo.Point{Lat: -0.01, Lon: 0}, 0, 1)
+	n3 := g.AddLandmark(geo.Point{Lat: -0.02, Lon: 0}, 0, 1)
+	if _, err := g.AddSegment(n0, n1, 0, 0, ClassResidential); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddSegment(n2, n3, 0, 0, ClassResidential); err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Point{Lat: 0, Lon: 0}
+	d0 := geo.FastDistance(q, g.SegmentMidpoint(0))
+	d1 := geo.FastDistance(q, g.SegmentMidpoint(1))
+	if d0 != d1 {
+		t.Fatalf("setup: distances differ (%v vs %v), tie not exercised", d0, d1)
+	}
+	idx := NewSegmentIndex(g)
+	checkEquivalence(t, g, idx, q)
+	if got := idx.NearestSegment(q); got != 0 {
+		t.Fatalf("tie broke to segment %d, want 0", got)
+	}
+}
+
+// TestSegmentIndexEmptyAndSingle covers the degenerate graphs.
+func TestSegmentIndexEmptyAndSingle(t *testing.T) {
+	g := NewGraph()
+	idx := NewSegmentIndex(g)
+	if got := idx.NearestSegment(geo.Point{Lat: 35, Lon: -80}); got != NoSegment {
+		t.Fatalf("empty graph: got %d, want NoSegment", got)
+	}
+
+	a := g.AddLandmark(geo.Point{Lat: 35.0, Lon: -80.0}, 200, 1)
+	b := g.AddLandmark(geo.Point{Lat: 35.001, Lon: -80.0}, 200, 1)
+	if _, err := g.AddSegment(a, b, 0, 0, ClassResidential); err != nil {
+		t.Fatal(err)
+	}
+	idx = NewSegmentIndex(g)
+	for _, p := range []geo.Point{{Lat: 35, Lon: -80}, {Lat: 0, Lon: 0}, {Lat: 89, Lon: 179}} {
+		if got := idx.NearestSegment(p); got != 0 {
+			t.Fatalf("single segment: got %d at %v, want 0", got, p)
+		}
+	}
+}

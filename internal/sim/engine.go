@@ -235,6 +235,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 					return nil, err
 				}
 			}
+			// Window-boundary memory reading: one stop-the-world
+			// ReadMemStats per dispatch round, never per step.
+			s.met.mem.Observe()
 			s.refreshCost()
 			// The cost model only changes at round boundaries, so this
 			// is the moment routes planned under the old flood state can

@@ -50,6 +50,10 @@ type simMetrics struct {
 	reroutes          *obs.Counter
 	diverts           *obs.Counter
 	stalls            *obs.Counter
+	// mem refreshes the runtime memory gauges at window boundaries —
+	// the metro-scale runs watch these to confirm the columnar hot path
+	// holds steady-state heap flat. Nil (a no-op) when disabled.
+	mem *obs.MemGauges
 }
 
 // newSimMetrics resolves the handles for one run, labeling per-method
@@ -87,5 +91,6 @@ func newSimMetrics(reg *obs.Registry, method string) simMetrics {
 			"Stranded vehicles diverted to a reachable hospital or the depot.", m),
 		stalls: reg.Counter(MetricVehicleStalls,
 			"Vehicle breakdown faults applied.", m),
+		mem: obs.NewMemGauges(reg),
 	}
 }
