@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-scale-smoke eventlog-smoke crash-smoke fuzz cover verify ci clean
+.PHONY: all build vet test race bench bench-smoke bench-scale-smoke eventlog-smoke crash-smoke serve-smoke fuzz cover verify ci clean
 
 all: ci race
 
@@ -54,17 +54,19 @@ bench-smoke:
 bench-scale-smoke:
 	$(GO) run ./cmd/benchscale -smoke
 
-# Short fuzz pass over the city loader and the checkpoint loader (the
-# corpus seeds always run as part of `make test`; this explores further).
+# Short fuzz pass over the city loader, the checkpoint loader, and the
+# session API handlers (the corpus seeds always run as part of `make
+# test`; this explores further).
 fuzz:
 	$(GO) test -fuzz FuzzReadCityJSON -fuzztime 30s ./internal/roadnet
 	$(GO) test -fuzz FuzzLoadCheckpoint -fuzztime 30s ./internal/rl
+	$(GO) test -fuzz FuzzSessionAPI -fuzztime 30s ./internal/serve
 
 # Full-suite coverage profile (cover.out; CI uploads it as an artifact)
 # plus soft per-package floors for the training stack — the packages the
 # determinism and checkpoint guarantees live in. Floors warn instead of
 # failing: coverage is a signal, not a gate.
-COVER_FLOORS = internal/train:80 internal/rl:85 internal/nn:90
+COVER_FLOORS = internal/train:80 internal/rl:85 internal/nn:90 internal/serve:80
 
 cover:
 	$(GO) test -covermode=atomic -coverprofile=cover.out ./... | tee cover.txt
@@ -99,6 +101,15 @@ eventlog-smoke:
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_predict.json -fresh BENCH_predict.json
 	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_scale.json -fresh BENCH_scale.json
 
+# Serving-layer smoke: a short cmd/loadgen run (1000 concurrent
+# sessions sustained through ramp/burst/churn phases, zero errors) and
+# the bench-regression gate over the fresh artifact against the
+# checked-in BENCH_serve.json baseline in portable mode. A full-length
+# artifact regenerates with `go run ./cmd/loadgen -out BENCH_serve.json`.
+serve-smoke:
+	$(GO) run ./cmd/loadgen -smoke -out fresh_serve.json
+	$(GO) run ./cmd/analyze bench-check -portable -base BENCH_serve.json -fresh fresh_serve.json
+
 # Kill -9 fuzz over the crash-safe run machinery (internal/snapshot):
 # one uninterrupted reference run, then kill/resume cycles until at
 # least 10 SIGKILLs have landed — every cycle must finish with an event
@@ -112,9 +123,9 @@ crash-smoke:
 
 verify: vet build test
 
-# The default CI gate: tier-1 verify plus the event-log smoke and the
-# metro-scale contract smoke.
-ci: verify eventlog-smoke bench-scale-smoke
+# The default CI gate: tier-1 verify plus the event-log smoke, the
+# metro-scale contract smoke, and the serving-layer smoke.
+ci: verify eventlog-smoke bench-scale-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"mobirescue/internal/dispatch"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/serve"
+	"mobirescue/internal/sim"
+)
+
+// SessionWorld adapts a built System to the serving layer: it is the
+// serve.World that constructs one fresh, session-owned simulator (and
+// dispatcher chain) per scenario session. The heavy shared state — the
+// scenario, the trained SVM, the prediction provider (concurrent-safe
+// and deterministic), the trained MR policy — is read-only at serving
+// time; everything mutable (the simulator, the dispatcher's per-run
+// assignment state, the Rescue baseline's online demand history) is
+// built per session, so thousands of sessions advance concurrently
+// without sharing a single mutable word.
+//
+// Construction is deterministic: the same spec always yields an
+// identical simulator, which is what lets a drained server rebuild a
+// session and restore its snapshot byte-identically.
+type SessionWorld struct {
+	sys *System
+	// policy is the MR dispatcher's policy network, frozen at world
+	// construction: every "mr" session serves this exact policy even if
+	// the system's learner trains on afterwards.
+	policy []byte
+}
+
+// SessionMethods lists the dispatch methods a session can request.
+var SessionMethods = []string{"greedy", "mr", "rescue", "schedule"}
+
+// NewSessionWorld freezes sys's current MR policy and returns the
+// serving bridge. Sessions serve inference only — training stays on the
+// batch path.
+func NewSessionWorld(sys *System) (*SessionWorld, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("core: system required")
+	}
+	var buf bytes.Buffer
+	if err := sys.MR.SavePolicy(&buf); err != nil {
+		return nil, fmt.Errorf("core: freezing MR policy: %w", err)
+	}
+	return &SessionWorld{sys: sys, policy: buf.Bytes()}, nil
+}
+
+// sessionDispatcher builds the session-owned dispatcher chain for a
+// method name. Every dispatcher here is freshly constructed — sessions
+// never share mutable dispatcher state.
+func (w *SessionWorld) sessionDispatcher(method string) (sim.Dispatcher, error) {
+	sys := w.sys
+	switch strings.ToLower(method) {
+	case "greedy":
+		return dispatch.NewGreedy(), nil
+	case "schedule":
+		return sys.newSchedule(), nil
+	case "rescue":
+		return sys.NewRescueBaseline()
+	case "mr", "mobirescue":
+		mrCfg := sys.Config.MR
+		mrCfg.Capacity = cfgCapacity(sys.Config.Sim)
+		mrCfg.Agent.Seed = sys.Config.Seed
+		mr, err := dispatch.NewMobiRescue(sys.Scenario.City.NumRegions(), func(t time.Time) map[roadnet.SegmentID]float64 {
+			return sys.EvalProvider.Predict(t)
+		}, mrCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := mr.LoadPolicy(bytes.NewReader(w.policy)); err != nil {
+			return nil, err
+		}
+		mr.SetTraining(false)
+		mr.SetDemandSource(func(t time.Time) []float64 {
+			return sys.EvalProvider.RegionTotals(t)
+		})
+		return mr, nil
+	default:
+		return nil, fmt.Errorf("core: unknown session method %q (want %s)", method, strings.Join(SessionMethods, ", "))
+	}
+}
+
+// NewSessionSim implements serve.World: a fresh simulator over the
+// evaluation episode's requested day, with a session-owned dispatcher
+// chain and cost provider. rec (which may be nil) receives the run's
+// event stream.
+func (w *SessionWorld) NewSessionSim(spec serve.SessionSpec, rec *eventlog.Recorder) (*sim.Simulator, int, error) {
+	sys := w.sys
+	ep := sys.Scenario.Eval
+	// An omitted day serves the episode's peak-request day — the same
+	// day the batch comparisons run. (Day 0 is the quiet pre-disaster
+	// day; nobody dispatches there.)
+	day := spec.Day
+	if day == 0 {
+		day = ep.PeakRequestDay()
+	}
+	if day < 0 || day >= ep.Data.Config.Days {
+		return nil, 0, fmt.Errorf("core: day %d out of range [0,%d)", day, ep.Data.Config.Days)
+	}
+	disp, err := w.sessionDispatcher(spec.Method)
+	if err != nil {
+		return nil, 0, err
+	}
+	teams := spec.Teams
+	if teams <= 0 {
+		teams = sys.Teams
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = sys.Config.Seed
+	}
+	cfg := sys.simConfigForDay(ep, day)
+	cfg.Events = rec
+	cfg.Hook = nil
+	// One worker per session: the goroutine budget is the session
+	// worker itself. Results are byte-identical for any worker count,
+	// so serving loses nothing but per-session routing parallelism.
+	cfg.Workers = 1
+	requests := RequestsForDay(ep, day)
+	starts, err := VehicleStarts(sys.Scenario.City, teams, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	costProv := sim.RescueCostProvider{
+		Base:  ep.Disaster(sys.Scenario.City.Graph),
+		Crawl: cfg.CrawlFactor,
+	}
+	simulator, err := sim.New(sys.Scenario.City, costProv, disp, requests, starts, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return simulator, len(requests), nil
+}

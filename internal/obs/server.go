@@ -24,6 +24,14 @@ type Server struct {
 // the ops endpoints for reg in a background goroutine. Close shuts it
 // down.
 func StartServer(addr string, reg *Registry) (*Server, error) {
+	return StartServerWith(addr, reg, nil)
+}
+
+// StartServerWith is StartServer plus a mount hook: when non-nil, mount
+// is called with the server's mux before it starts serving, so callers
+// can attach application routes (the serve layer's session API) to the
+// same listener as the ops endpoints.
+func StartServerWith(addr string, reg *Registry, mount func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -48,6 +56,9 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()

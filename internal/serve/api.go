@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds every API request body; larger payloads get a
+// typed 413 instead of buffering without limit.
+const maxBodyBytes = 1 << 20
+
+// apiError is the typed JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Mount attaches the session API to mux (typically the obs ops server's
+// via obs.StartServerWith).
+func (s *Service) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/sessions", s.handleCreate)
+	mux.HandleFunc("GET /api/sessions", s.handleList)
+	mux.HandleFunc("GET /api/sessions/{id}", s.handleGet)
+	mux.HandleFunc("POST /api/sessions/{id}/advance", s.handleAdvance)
+	mux.HandleFunc("POST /api/sessions/{id}/inject", s.handleInject)
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleClose)
+}
+
+// Handler returns a standalone handler serving only the session API
+// (tests, loadgen self-hosting).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps a typed service error onto its HTTP status and JSON
+// body. Backpressure responses carry Retry-After so well-behaved
+// clients pace themselves instead of hammering.
+func writeError(w http.ResponseWriter, err error) {
+	var status int
+	var code string
+	switch {
+	case errors.Is(err, ErrBusy):
+		status, code = http.StatusTooManyRequests, "busy"
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrCapacity):
+		status, code = http.StatusTooManyRequests, "capacity"
+		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrNotFound):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrFinished):
+		status, code = http.StatusConflict, "finished"
+	case errors.Is(err, ErrSessionClosed):
+		status, code = http.StatusConflict, "closed"
+	default:
+		status, code = http.StatusBadRequest, "bad_request"
+	}
+	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
+}
+
+// decodeBody decodes a bounded JSON body, distinguishing "too large"
+// (413) from malformed (400). Unknown fields are rejected so typos
+// surface as errors instead of silently defaulting.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: "request body too large", Code: "too_large"})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	sess, err := s.Create(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+// listResponse is the session listing body.
+type listResponse struct {
+	Sessions []Status `json:"sessions"`
+	Draining bool     `json:"draining"`
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	sessions, draining := s.List()
+	if sessions == nil {
+		sessions = []Status{}
+	}
+	writeJSON(w, http.StatusOK, listResponse{Sessions: sessions, Draining: draining})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+// advanceRequest asks for N more dispatch windows (0 or omitted: run to
+// completion).
+type advanceRequest struct {
+	Windows int `json:"windows"`
+}
+
+func (s *Service) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	var req advanceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := sess.Advance(req.Windows)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// injectRequest streams a batch of rescue requests into a session.
+type injectRequest struct {
+	Requests []InjectSpec `json:"requests"`
+}
+
+func (s *Service) handleInject(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	var req injectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "no requests in batch", Code: "bad_request"})
+		return
+	}
+	sess, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := sess.Inject(req.Requests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleClose(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	sum, err := s.Close(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}

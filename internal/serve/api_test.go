@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden rewrites the golden API/checkpoint files instead of
+// comparing against them:
+//
+//	go test ./internal/serve -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files in testdata/")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden (PR-4 convention).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s (re-baseline with -update-golden): %v", path, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("response drifted from %s (re-baseline intentional changes with -update-golden):\n%s",
+			path, diffLines(want, got))
+	}
+}
+
+// diffLines renders a small line diff of a golden mismatch.
+func diffLines(want, got []byte) string {
+	wantLines := bytes.Split(want, []byte("\n"))
+	gotLines := bytes.Split(got, []byte("\n"))
+	var buf bytes.Buffer
+	n := len(wantLines)
+	if len(gotLines) > n {
+		n = len(gotLines)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 40; i++ {
+		var w, g []byte
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if !bytes.Equal(w, g) {
+			fmt.Fprintf(&buf, "line %d:\n  golden: %s\n  got:    %s\n", i+1, w, g)
+			shown++
+		}
+	}
+	return buf.String()
+}
+
+// do runs one request against the API handler.
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, r)
+	return rr
+}
+
+// requireError asserts a typed JSON error with the given status/code.
+func requireError(t *testing.T, rr *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if rr.Code != status {
+		t.Fatalf("status = %d, want %d (body %s)", rr.Code, status, rr.Body.String())
+	}
+	var e apiError
+	if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, rr.Body.String())
+	}
+	if e.Code != code {
+		t.Fatalf("error code = %q, want %q (%s)", e.Code, code, e.Error)
+	}
+	if e.Error == "" {
+		t.Fatal("error body has empty message")
+	}
+}
+
+// TestAPIGolden pins the deterministic API response bodies: create,
+// session listing, advance result, inject result, and close summary.
+func TestAPIGolden(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+
+	rr := do(t, h, "POST", "/api/sessions", `{"method":"greedy","seed":1}`)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+	checkGolden(t, "api_create.json", rr.Body.Bytes())
+
+	if rr := do(t, h, "POST", "/api/sessions", `{"method":"greedy","seed":2}`); rr.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+
+	rr = do(t, h, "POST", "/api/sessions/s-000001/advance", `{"windows":2}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("advance: %d %s", rr.Code, rr.Body.String())
+	}
+	checkGolden(t, "api_advance.json", rr.Body.Bytes())
+
+	rr = do(t, h, "POST", "/api/sessions/s-000001/inject", `{"requests":[{"seg":3,"in_s":300},{"seg":5,"in_s":600}]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("inject: %d %s", rr.Code, rr.Body.String())
+	}
+	checkGolden(t, "api_inject.json", rr.Body.Bytes())
+
+	rr = do(t, h, "GET", "/api/sessions", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("list: %d %s", rr.Code, rr.Body.String())
+	}
+	checkGolden(t, "api_list.json", rr.Body.Bytes())
+
+	rr = do(t, h, "POST", "/api/sessions/s-000001/advance", `{}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("final advance: %d %s", rr.Code, rr.Body.String())
+	}
+
+	rr = do(t, h, "DELETE", "/api/sessions/s-000001", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("close: %d %s", rr.Code, rr.Body.String())
+	}
+	checkGolden(t, "api_close.json", rr.Body.Bytes())
+}
+
+// TestAPIErrors pins every typed error path to its status and code.
+func TestAPIErrors(t *testing.T) {
+	svc := newTestService(t, Config{MaxSessions: 1})
+	h := svc.Handler()
+
+	requireError(t, do(t, h, "POST", "/api/sessions", `not json`), http.StatusBadRequest, "bad_request")
+	requireError(t, do(t, h, "POST", "/api/sessions", `{"unknown_field":1}`), http.StatusBadRequest, "bad_request")
+	requireError(t, do(t, h, "POST", "/api/sessions", `{"method":"bogus"}`), http.StatusBadRequest, "bad_request")
+
+	created := do(t, h, "POST", "/api/sessions", `{"method":"greedy"}`)
+	if created.Code != http.StatusCreated {
+		t.Fatalf("create: %d", created.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(created.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	sessURL := "/api/sessions/" + st.ID
+	rr := do(t, h, "POST", "/api/sessions", `{"method":"greedy","seed":2}`)
+	requireError(t, rr, http.StatusTooManyRequests, "capacity")
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("capacity response missing Retry-After")
+	}
+
+	requireError(t, do(t, h, "GET", "/api/sessions/s-999999", ""), http.StatusNotFound, "not_found")
+	requireError(t, do(t, h, "POST", "/api/sessions/s-999999/advance", `{}`), http.StatusNotFound, "not_found")
+	requireError(t, do(t, h, "DELETE", "/api/sessions/s-999999", ""), http.StatusNotFound, "not_found")
+
+	requireError(t, do(t, h, "POST", sessURL+"/advance", `{"windows":"three"}`), http.StatusBadRequest, "bad_request")
+	requireError(t, do(t, h, "POST", sessURL+"/inject", `{"requests":[]}`), http.StatusBadRequest, "bad_request")
+	requireError(t, do(t, h, "POST", sessURL+"/inject", `{"requests":[{"seg":999999,"in_s":10}]}`), http.StatusBadRequest, "bad_request")
+
+	// Oversized payload: typed 413, not an unbounded buffer.
+	big := `{"requests":[` + strings.Repeat(`{"seg":1,"in_s":1},`, 80000) + `{"seg":1,"in_s":1}]}`
+	requireError(t, do(t, h, "POST", sessURL+"/inject", big), http.StatusRequestEntityTooLarge, "too_large")
+
+	// Out-of-order advance: finish the run, then advance again.
+	if rr := do(t, h, "POST", sessURL+"/advance", `{}`); rr.Code != http.StatusOK {
+		t.Fatalf("advance: %d %s", rr.Code, rr.Body.String())
+	}
+	requireError(t, do(t, h, "POST", sessURL+"/advance", `{"windows":1}`), http.StatusConflict, "finished")
+
+	// Method not allowed on a known path shape.
+	if rr := do(t, h, "PUT", "/api/sessions", ""); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /api/sessions = %d, want 405", rr.Code)
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzSessionAPI throws arbitrary operations, IDs, and bodies at the
+// session API. The contract under fuzz: handlers never panic, never
+// return 5xx, every handler-produced 4xx carries a typed JSON error,
+// and the session table never exceeds its cap (so worker goroutines
+// stay bounded no matter what the fuzzer creates).
+func FuzzSessionAPI(f *testing.F) {
+	const maxSessions = 8
+	svc, err := NewService(testWorld{}, Config{MaxSessions: maxSessions, QueueDepth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := svc.Handler()
+
+	// A couple of long-lived sessions so advance/inject ops hit live
+	// state, not just not-found paths.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Create(SessionSpec{Method: "greedy", Seed: int64(i + 1)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+
+	f.Add(byte(0), "s-000001", []byte(`{"method":"greedy","seed":3}`))
+	f.Add(byte(2), "s-000001", []byte(`{"windows":2}`))
+	f.Add(byte(2), "s-000001", []byte(`{"windows":-1}`))
+	f.Add(byte(2), "s-999999", []byte(`{}`))
+	f.Add(byte(3), "s-000002", []byte(`{"requests":[{"seg":1,"in_s":60}]}`))
+	f.Add(byte(3), "s-000002", []byte(`{"requests":[{"seg":-5,"in_s":-1e300}]}`))
+	f.Add(byte(4), "s-000002", []byte(``))
+	f.Add(byte(5), "nope", []byte(`{"unknown":true}`))
+	f.Add(byte(1), "", []byte(`not json at all`))
+	f.Add(byte(0), "x", []byte(`{"method":"greedy","`))
+
+	f.Fuzz(func(t *testing.T, op byte, id string, body []byte) {
+		var method, path string
+		switch op % 6 {
+		case 0:
+			method, path = "POST", "/api/sessions"
+		case 1:
+			method, path = "GET", "/api/sessions"
+		case 2:
+			method, path = "POST", "/api/sessions/"+url.PathEscape(id)+"/advance"
+		case 3:
+			method, path = "POST", "/api/sessions/"+url.PathEscape(id)+"/inject"
+		case 4:
+			method, path = "GET", "/api/sessions/"+url.PathEscape(id)
+		case 5:
+			method, path = "DELETE", "/api/sessions/"+url.PathEscape(id)
+		}
+		r := httptest.NewRequest(method, path, strings.NewReader(string(body)))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, r)
+
+		if rr.Code >= 500 {
+			t.Fatalf("%s %s -> %d (never 5xx): %s", method, path, rr.Code, rr.Body.String())
+		}
+		// Handler-level errors (as opposed to mux-level 404/405 plain
+		// text) must be typed JSON.
+		if rr.Code >= 400 && strings.HasPrefix(rr.Header().Get("Content-Type"), "application/json") {
+			var e apiError
+			if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil {
+				t.Fatalf("%s %s -> %d with undecodable error body: %v (%s)", method, path, rr.Code, err, rr.Body.String())
+			}
+			if e.Code == "" || e.Error == "" {
+				t.Fatalf("%s %s -> %d with untyped error body: %s", method, path, rr.Code, rr.Body.String())
+			}
+		}
+		if rr.Code == http.StatusTooManyRequests && rr.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s %s -> 429 without Retry-After", method, path)
+		}
+		if n := svc.SessionCount(); n > maxSessions {
+			t.Fatalf("session table grew past cap: %d > %d", n, maxSessions)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/sim"
+)
+
+// TestSessionChurnNoLeak creates and closes 1000 sessions (advancing
+// some of them partway) and checks the session table and goroutine
+// count return to baseline: workers must exit on close, and the table
+// must not retain closed sessions.
+func TestSessionChurnNoLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn test skipped in -short mode")
+	}
+	svc := newTestService(t, Config{MaxSessions: 64})
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const churn = 1000
+	for i := 0; i < churn; i++ {
+		sess, err := svc.Create(SessionSpec{Method: "greedy", Seed: int64(i%7 + 1)})
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			if _, err := sess.Advance(1); err != nil {
+				t.Fatalf("advance %d: %v", i, err)
+			}
+		}
+		if _, err := svc.Close(sess.ID()); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+
+	if n := svc.SessionCount(); n != 0 {
+		t.Fatalf("session table holds %d sessions after full churn", n)
+	}
+
+	// Worker goroutines exit asynchronously after close(done); give the
+	// scheduler a moment and retry before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// blockDisp is a dispatcher whose Decide parks until released, pinning
+// the session worker inside an advance so the command queue backs up.
+type blockDisp struct {
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (d *blockDisp) Name() string { return "block" }
+
+func (d *blockDisp) Decide(snap *sim.Snapshot) ([]sim.Order, time.Duration) {
+	select {
+	case d.entered <- struct{}{}:
+	default:
+	}
+	<-d.gate
+	return nil, 0
+}
+
+// blockWorld serves sessions whose first dispatch round blocks on the
+// shared gate.
+type blockWorld struct {
+	disp *blockDisp
+}
+
+func (w blockWorld) NewSessionSim(spec SessionSpec, rec *eventlog.Recorder) (*sim.Simulator, int, error) {
+	city, err := fixtureCity()
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := sim.DefaultConfig(twStart)
+	cfg.Duration = time.Hour
+	cfg.Workers = 1
+	cfg.Events = rec
+	starts, err := fixtureStarts(city, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := sim.New(city, sim.StaticCost{}, w.disp, nil, starts, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, 0, nil
+}
+
+// TestBackpressure pins the full-queue contract: with the worker parked
+// mid-advance and the queue filled, further commands get ErrBusy at the
+// service layer and 429 + Retry-After over HTTP — never an unbounded
+// buffer, never a blocked handler.
+func TestBackpressure(t *testing.T) {
+	const depth = 2
+	disp := &blockDisp{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	svc, err := NewService(blockWorld{disp: disp}, Config{QueueDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Create(SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the worker inside the first advance's dispatch round.
+	advErr := make(chan error, 1)
+	go func() {
+		_, err := sess.Advance(1)
+		advErr <- err
+	}()
+	select {
+	case <-disp.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never entered Decide")
+	}
+
+	// Fill the queue behind the parked worker.
+	queued := make([]*command, 0, depth)
+	for i := 0; i < depth; i++ {
+		cmd := &command{kind: cmdAdvance, windows: 1, reply: make(chan cmdReply, 1)}
+		select {
+		case sess.queue <- cmd:
+			queued = append(queued, cmd)
+		default:
+			t.Fatalf("queue rejected command %d of %d before depth", i+1, depth)
+		}
+	}
+
+	// Service layer: a full queue is ErrBusy, immediately.
+	if _, err := sess.Advance(1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("advance on full queue: %v, want ErrBusy", err)
+	}
+
+	// HTTP layer: the same condition is a typed 429 with Retry-After.
+	rr := do(t, svc.Handler(), "POST", "/api/sessions/"+sess.ID()+"/advance", `{"windows":1}`)
+	requireError(t, rr, http.StatusTooManyRequests, "busy")
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	// Release the worker; the parked advance and the queued commands all
+	// complete normally.
+	close(disp.gate)
+	if err := <-advErr; err != nil {
+		t.Fatalf("parked advance failed: %v", err)
+	}
+	for i, cmd := range queued {
+		select {
+		case r := <-cmd.reply:
+			if r.err != nil {
+				t.Fatalf("queued command %d failed: %v", i, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("queued command %d never got a reply", i)
+		}
+	}
+	if _, err := svc.Close(sess.ID()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package serve turns the batch simulation pipeline into a resident
+// multi-tenant dispatch service: scenario sessions are first-class
+// objects created, advanced window by window, fed streaming rescue
+// requests, queried, and closed over a JSON API mounted on the obs ops
+// server.
+//
+// Concurrency model: every session owns exactly one worker goroutine
+// draining a bounded command queue. All simulator access happens on
+// that goroutine, so sessions need no locks around the simulator and
+// stay exactly as deterministic as the batch path — N sessions advanced
+// in any interleaving produce results and event logs byte-identical to
+// running them serially. A full queue is explicit backpressure: the
+// caller gets ErrBusy (HTTP 429 + Retry-After), never an unbounded
+// buffer.
+//
+// Shutdown: Drain quiesces every worker at a dispatch-window boundary
+// (the simulator's natural snapshot point), captures each session —
+// simulator state, injected requests, event-recorder buffer — into one
+// checkpoint in the PR-4 envelope, and Restore rebuilds every live
+// session byte-identically in a fresh process.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mobirescue/internal/obs"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/sim"
+)
+
+// Exported serve-level metric names (see README "Serving").
+const (
+	MetricSessions     = "mobirescue_serve_sessions"
+	MetricCreated      = "mobirescue_serve_sessions_created_total"
+	MetricClosed       = "mobirescue_serve_sessions_closed_total"
+	MetricBackpressure = "mobirescue_serve_backpressure_total"
+	MetricAdvances     = "mobirescue_serve_advances_total"
+	MetricInjected     = "mobirescue_serve_requests_injected_total"
+	MetricAdvanceSecs  = "mobirescue_serve_advance_seconds"
+)
+
+// Typed service errors; the API layer maps each to one HTTP status.
+var (
+	// ErrBusy is backpressure: the session's command queue is full. The
+	// caller should retry after a short delay (HTTP 429 + Retry-After).
+	ErrBusy = errors.New("serve: session queue full")
+	// ErrNotFound names an unknown (or already closed) session.
+	ErrNotFound = errors.New("serve: session not found")
+	// ErrDraining rejects work while the service shuts down.
+	ErrDraining = errors.New("serve: service draining")
+	// ErrCapacity is backpressure at the service level: the live-session
+	// cap is reached; closing a session frees a slot.
+	ErrCapacity = errors.New("serve: session capacity reached")
+	// ErrSessionClosed reports a command that raced with session close.
+	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrFinished rejects an advance on a completed run.
+	ErrFinished = errors.New("serve: run already finished")
+)
+
+// SessionSpec is the client-supplied scenario binding: which dispatch
+// method to serve, which evaluation day, how many teams, and the
+// placement seed. The World interprets it; zero values pick the
+// world's defaults (in production: the peak-request day, the system
+// fleet size, the system seed).
+type SessionSpec struct {
+	Method string `json:"method"`
+	Day    int    `json:"day"`
+	Teams  int    `json:"teams"`
+	Seed   int64  `json:"seed"`
+}
+
+// World builds session simulators: the bridge to the scenario/model
+// layer (core.SessionWorld in production, lightweight fixtures in
+// tests). Implementations must be safe for concurrent calls and
+// deterministic — the same spec always yields an identical simulator.
+type World interface {
+	// NewSessionSim returns a fresh simulator for spec recording into
+	// rec (which may be nil), plus the number of ground-truth requests
+	// it was constructed with; sessions allocate injected request IDs
+	// past that count.
+	NewSessionSim(spec SessionSpec, rec *eventlog.Recorder) (*sim.Simulator, int, error)
+}
+
+// Config tunes a Service.
+type Config struct {
+	// MaxSessions caps live sessions (0 = 4096). The cap bounds worker
+	// goroutines: one per session.
+	MaxSessions int
+	// QueueDepth bounds each session's command queue (0 = 8). A full
+	// queue surfaces as ErrBusy — explicit backpressure, never an
+	// unbounded buffer.
+	QueueDepth int
+	// Log, when non-nil, receives every session's event stream: one
+	// recorder per session, appended in close order.
+	Log *eventlog.Log
+	// Metrics, when non-nil, publishes the serve counters/gauges.
+	Metrics *obs.Registry
+}
+
+const (
+	defaultMaxSessions = 4096
+	defaultQueueDepth  = 8
+)
+
+// Service owns the session table.
+type Service struct {
+	world World
+	cfg   Config
+	log   *eventlog.Log
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+	draining bool
+
+	metSessions *obs.Gauge
+	metCreated  *obs.Counter
+	metClosed   *obs.Counter
+	metBusy     *obs.Counter
+	metAdvances *obs.Counter
+	metInjected *obs.Counter
+	metAdvSecs  *obs.Histogram
+}
+
+// NewService builds a Service over world.
+func NewService(world World, cfg Config) (*Service, error) {
+	if world == nil {
+		return nil, fmt.Errorf("serve: world required")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = defaultMaxSessions
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	s := &Service{
+		world:    world,
+		cfg:      cfg,
+		log:      cfg.Log,
+		sessions: make(map[string]*Session),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metSessions = reg.Gauge(MetricSessions, "Live scenario sessions.")
+		s.metCreated = reg.Counter(MetricCreated, "Scenario sessions created.")
+		s.metClosed = reg.Counter(MetricClosed, "Scenario sessions closed.")
+		s.metBusy = reg.Counter(MetricBackpressure, "Commands rejected with backpressure (full queue or capacity).")
+		s.metAdvances = reg.Counter(MetricAdvances, "Session advance commands executed.")
+		s.metInjected = reg.Counter(MetricInjected, "Rescue requests injected into live sessions.")
+		s.metAdvSecs = reg.Histogram(MetricAdvanceSecs, "Wall-clock session advance latency.", obs.DefSecondsBuckets)
+	}
+	return s, nil
+}
+
+// Create builds a new session over spec and starts its worker.
+func (s *Service) Create(spec SessionSpec) (*Session, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metBusy.Inc()
+		return nil, ErrCapacity
+	}
+	s.seq++
+	id := fmt.Sprintf("s-%06d", s.seq)
+	seq := s.seq
+	s.mu.Unlock()
+
+	// Build the simulator outside the table lock: construction routes
+	// and trains nothing but still touches the scenario layers.
+	rec := s.log.Recorder(id)
+	simulator, baseReqs, err := s.world.NewSessionSim(spec, rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building session: %w", err)
+	}
+	sess := newSession(s, id, seq, spec, simulator, rec, baseReqs)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		close(sess.queue) // worker not started yet; nothing to stop
+		return nil, ErrDraining
+	}
+	s.sessions[id] = sess
+	n := len(s.sessions)
+	s.mu.Unlock()
+
+	go sess.run()
+	s.metCreated.Inc()
+	s.metSessions.Set(float64(n))
+	return sess, nil
+}
+
+// Get returns a live session by ID.
+func (s *Service) Get(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return sess, nil
+}
+
+// List returns every live session's status in creation order, plus
+// whether the service is draining.
+func (s *Service) List() ([]Status, bool) {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].seq < sessions[j].seq })
+	out := make([]Status, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.Status())
+	}
+	return out, draining
+}
+
+// Close stops a session's worker, appends its event stream to the
+// shared log, removes it from the table, and returns the final summary.
+func (s *Service) Close(id string) (Summary, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	n := len(s.sessions)
+	s.mu.Unlock()
+	if !ok {
+		return Summary{}, ErrNotFound
+	}
+	sum := sess.stop()
+	s.log.Append(sess.rec)
+	s.metClosed.Inc()
+	s.metSessions.Set(float64(n))
+	return sum, nil
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Service) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

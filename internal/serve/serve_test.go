@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mobirescue/internal/obs/eventlog"
+)
+
+// sessionScript is the fixed command sequence the determinism test runs
+// against one session: advance, inject a burst, advance again, finish.
+func runSessionScript(t *testing.T, sess *Session, i int) {
+	t.Helper()
+	if _, err := sess.Advance(2); err != nil {
+		t.Errorf("session %d advance: %v", i, err)
+		return
+	}
+	specs := []InjectSpec{
+		{Seg: (i * 3) % 10, InS: 300},
+		{Seg: (i*3 + 1) % 10, InS: 600},
+	}
+	if _, err := sess.Inject(specs); err != nil {
+		t.Errorf("session %d inject: %v", i, err)
+		return
+	}
+	if _, err := sess.Advance(3); err != nil {
+		t.Errorf("session %d advance: %v", i, err)
+		return
+	}
+	res, err := sess.Advance(0)
+	if err != nil {
+		t.Errorf("session %d final advance: %v", i, err)
+		return
+	}
+	if !res.Done {
+		t.Errorf("session %d: Advance(0) did not finish the run", i)
+	}
+}
+
+// runScripted creates n sessions, runs each session's script — serially
+// or each on its own goroutine — and closes them in creation order,
+// returning the close summaries and the full event-log bytes.
+func runScripted(t *testing.T, n int, concurrent bool) ([]Summary, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	lg, err := eventlog.New(&buf, eventlog.Manifest{Scale: "serve-test"}, eventlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newTestService(t, Config{Log: lg})
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		sess, err := svc.Create(SessionSpec{Method: "greedy", Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = sess
+	}
+	if concurrent {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i, sess := range sessions {
+			go func(i int, sess *Session) {
+				defer wg.Done()
+				runSessionScript(t, sess, i)
+			}(i, sess)
+		}
+		wg.Wait()
+	} else {
+		for i, sess := range sessions {
+			runSessionScript(t, sess, i)
+		}
+	}
+	sums := make([]Summary, 0, n)
+	for _, sess := range sessions {
+		sum, err := svc.Close(sess.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sums, buf.Bytes()
+}
+
+// TestConcurrentSessionsMatchSerial is the determinism-under-concurrency
+// contract: N sessions advanced concurrently (any interleaving the
+// scheduler picks, and the race detector watching) produce summaries and
+// an event log byte-identical to the same sessions run serially.
+func TestConcurrentSessionsMatchSerial(t *testing.T) {
+	const n = 6
+	serialSums, serialLog := runScripted(t, n, false)
+	for round := 0; round < 3; round++ {
+		concSums, concLog := runScripted(t, n, true)
+		if !reflect.DeepEqual(serialSums, concSums) {
+			t.Fatalf("round %d: concurrent summaries differ from serial\nserial: %+v\nconcurrent: %+v", round, serialSums, concSums)
+		}
+		if !bytes.Equal(serialLog, concLog) {
+			t.Fatalf("round %d: concurrent event log differs from serial (%d vs %d bytes)", round, len(serialLog), len(concLog))
+		}
+	}
+}
+
+// TestSessionLifecycle covers the service surface end to end: create,
+// query, advance to completion, terminal advance conflict, close, and
+// the not-found paths.
+func TestSessionLifecycle(t *testing.T) {
+	svc := newTestService(t, Config{})
+	sess, err := svc.Create(SessionSpec{Method: "greedy", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Status(); got.State != "running" || got.Progress.Window != 0 {
+		t.Fatalf("fresh session status = %+v", got)
+	}
+	if sessions, draining := svc.List(); len(sessions) != 1 || draining {
+		t.Fatalf("List = %d sessions, draining=%v", len(sessions), draining)
+	}
+
+	res, err := sess.Advance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done || res.Status.Progress.Window != 2 {
+		t.Fatalf("Advance(2) = %+v", res)
+	}
+	inj, err := sess.Inject([]InjectSpec{{Seg: 1, InS: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injected IDs are allocated past the ground-truth range (6 fixture
+	// requests, so the first streamed ID is 6).
+	if inj.Added != 1 || inj.IDs[0] != 6 {
+		t.Fatalf("Inject = %+v", inj)
+	}
+	if _, err := sess.Inject([]InjectSpec{{Seg: 999999, InS: 60}}); err == nil {
+		t.Fatal("invalid segment injection accepted")
+	}
+
+	res, err = sess.Advance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Status.State != "finished" {
+		t.Fatalf("Advance(0) = %+v", res)
+	}
+	if _, err := sess.Advance(1); !errors.Is(err, ErrFinished) {
+		t.Fatalf("advance after finish: %v, want ErrFinished", err)
+	}
+
+	sum, err := svc.Close(sess.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Served+sum.Unserved != 7 {
+		t.Fatalf("summary accounts for %d requests, want 7: %+v", sum.Served+sum.Unserved, sum)
+	}
+	if _, err := svc.Close(sess.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double close: %v, want ErrNotFound", err)
+	}
+	if _, err := svc.Get(sess.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after close: %v, want ErrNotFound", err)
+	}
+	if svc.SessionCount() != 0 {
+		t.Fatalf("session table not empty after close: %d", svc.SessionCount())
+	}
+}
+
+// TestCreateValidation pins the world-error and capacity paths.
+func TestCreateValidation(t *testing.T) {
+	svc := newTestService(t, Config{MaxSessions: 2})
+	if _, err := svc.Create(SessionSpec{Method: "no-such-method"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Create(SessionSpec{Method: "greedy", Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Create(SessionSpec{Method: "greedy", Seed: 9}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-capacity create: %v, want ErrCapacity", err)
+	}
+	sessions, _ := svc.List()
+	if _, err := svc.Close(sessions[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Create(SessionSpec{Method: "greedy", Seed: 9}); err != nil {
+		t.Fatalf("create after freeing a slot: %v", err)
+	}
+}
+
+// TestSessionIDsAreSequential pins the deterministic ID scheme.
+func TestSessionIDsAreSequential(t *testing.T) {
+	svc := newTestService(t, Config{})
+	for i := 1; i <= 3; i++ {
+		sess, err := svc.Create(SessionSpec{Method: "greedy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("s-%06d", i); sess.ID() != want {
+			t.Fatalf("session %d ID = %q, want %q", i, sess.ID(), want)
+		}
+	}
+}

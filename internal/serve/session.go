@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+)
+
+// Status is a session's queryable state: updated by the worker after
+// every command, read lock-free of the simulator by API queries.
+type Status struct {
+	ID       string       `json:"id"`
+	Spec     SessionSpec  `json:"spec"`
+	State    string       `json:"state"` // "running" | "finished"
+	Progress sim.Progress `json:"progress"`
+	Injected int          `json:"injected"` // requests streamed in so far
+}
+
+// Summary is the final accounting returned when a session closes.
+// Timely/Unserved are only known once the run finished.
+type Summary struct {
+	Status
+	Served   int `json:"served"`
+	Timely   int `json:"timely"`
+	Unserved int `json:"unserved"`
+}
+
+// AdvanceResult is one advance command's outcome.
+type AdvanceResult struct {
+	Done   bool   `json:"done"`
+	Status Status `json:"status"`
+}
+
+// InjectSpec is one streamed request: a segment and an appearance
+// offset from the session's current simulated time. The session
+// allocates the request ID.
+type InjectSpec struct {
+	Seg int     `json:"seg"`
+	InS float64 `json:"in_s"`
+}
+
+// InjectResult reports the IDs allocated to an accepted batch.
+type InjectResult struct {
+	Added  int    `json:"added"`
+	IDs    []int  `json:"ids"`
+	Status Status `json:"status"`
+}
+
+type cmdKind uint8
+
+const (
+	cmdAdvance cmdKind = iota + 1
+	cmdInject
+	cmdStop
+)
+
+// command travels through a session's bounded queue to its worker.
+type command struct {
+	kind    cmdKind
+	windows int
+	reqs    []InjectSpec
+	reply   chan cmdReply
+}
+
+type cmdReply struct {
+	done   bool
+	ids    []int
+	status Status
+	err    error
+}
+
+// Session is one live scenario run: a simulator owned by a single
+// worker goroutine, a bounded command queue in front of it, and a
+// mutex-guarded status snapshot for queries.
+type Session struct {
+	svc  *Service
+	id   string
+	seq  int
+	spec SessionSpec
+
+	queue chan *command
+	done  chan struct{}
+
+	// Worker-owned state: touched only by run() (and by checkpointing,
+	// which first quiesces the worker).
+	sim       *sim.Simulator
+	rec       *eventlog.Recorder
+	baseReqs  int
+	nextReqID int
+	injected  []sim.Request
+
+	mu       sync.Mutex
+	status   Status
+	stopOnce sync.Once
+	summary  Summary
+}
+
+func newSession(svc *Service, id string, seq int, spec SessionSpec, simulator *sim.Simulator, rec *eventlog.Recorder, baseReqs int) *Session {
+	s := &Session{
+		svc:       svc,
+		id:        id,
+		seq:       seq,
+		spec:      spec,
+		queue:     make(chan *command, svc.cfg.QueueDepth),
+		done:      make(chan struct{}),
+		sim:       simulator,
+		rec:       rec,
+		baseReqs:  baseReqs,
+		nextReqID: baseReqs,
+	}
+	s.setStatus(s.freshStatus())
+	return s
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Status returns the latest status snapshot without touching the
+// simulator (no queue round-trip: queries never contend with work).
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+func (s *Session) setStatus(st Status) {
+	s.mu.Lock()
+	s.status = st
+	s.mu.Unlock()
+}
+
+// freshStatus reads the simulator directly — only the worker (or the
+// not-yet-started constructor / quiesced checkpointer) may call it.
+func (s *Session) freshStatus() Status {
+	p := s.sim.Progress()
+	state := "running"
+	if p.Finished {
+		state = "finished"
+	}
+	return Status{
+		ID:       s.id,
+		Spec:     s.spec,
+		State:    state,
+		Progress: p,
+		Injected: len(s.injected),
+	}
+}
+
+// run is the session worker: the only goroutine that touches the
+// simulator. It exits on cmdStop or queue close.
+func (s *Session) run() {
+	defer close(s.done)
+	for cmd := range s.queue {
+		switch cmd.kind {
+		case cmdStop:
+			cmd.reply <- cmdReply{status: s.freshStatus()}
+			return
+		case cmdAdvance:
+			start := time.Now()
+			done, err := s.sim.Advance(context.Background(), cmd.windows)
+			s.svc.metAdvSecs.ObserveSince(start)
+			s.svc.metAdvances.Inc()
+			st := s.freshStatus()
+			s.setStatus(st)
+			cmd.reply <- cmdReply{done: done, status: st, err: err}
+		case cmdInject:
+			ids, err := s.inject(cmd.reqs)
+			st := s.freshStatus()
+			s.setStatus(st)
+			cmd.reply <- cmdReply{ids: ids, status: st, err: err}
+		}
+	}
+}
+
+// inject converts InjectSpecs to simulator requests — appearance times
+// anchored at the session's current simulated time, IDs allocated past
+// the ground-truth range — and streams them in. All-or-nothing like
+// sim.InjectRequests.
+func (s *Session) inject(specs []InjectSpec) ([]int, error) {
+	p := s.sim.Progress()
+	reqs := make([]sim.Request, 0, len(specs))
+	ids := make([]int, 0, len(specs))
+	for i, spec := range specs {
+		id := s.nextReqID + i
+		reqs = append(reqs, sim.Request{
+			ID:       sim.RequestID(id),
+			Seg:      roadnet.SegmentID(spec.Seg),
+			AppearAt: p.Now.Add(time.Duration(spec.InS * float64(time.Second))),
+		})
+		ids = append(ids, id)
+	}
+	if err := s.sim.InjectRequests(reqs); err != nil {
+		return nil, err
+	}
+	s.nextReqID += len(reqs)
+	s.injected = append(s.injected, reqs...)
+	s.svc.metInjected.Add(int64(len(reqs)))
+	return ids, nil
+}
+
+// submit enqueues a command without blocking — a full queue is
+// backpressure, not a wait — then waits for the worker's reply.
+func (s *Session) submit(cmd *command) (cmdReply, error) {
+	cmd.reply = make(chan cmdReply, 1)
+	select {
+	case s.queue <- cmd:
+	default:
+		s.svc.metBusy.Inc()
+		return cmdReply{}, ErrBusy
+	}
+	select {
+	case r := <-cmd.reply:
+		return r, nil
+	case <-s.done:
+		// The worker exited (close/drain raced with this command); a
+		// reply may still have been buffered just before exit.
+		select {
+		case r := <-cmd.reply:
+			return r, nil
+		default:
+			return cmdReply{}, ErrSessionClosed
+		}
+	}
+}
+
+// Advance runs the session forward by `windows` dispatch windows
+// (<= 0: to completion).
+func (s *Session) Advance(windows int) (AdvanceResult, error) {
+	if s.Status().State == "finished" {
+		return AdvanceResult{}, ErrFinished
+	}
+	r, err := s.submit(&command{kind: cmdAdvance, windows: windows})
+	if err != nil {
+		return AdvanceResult{}, err
+	}
+	if r.err != nil {
+		return AdvanceResult{}, r.err
+	}
+	return AdvanceResult{Done: r.done, Status: r.status}, nil
+}
+
+// Inject streams a batch of requests into the session.
+func (s *Session) Inject(specs []InjectSpec) (InjectResult, error) {
+	r, err := s.submit(&command{kind: cmdInject, reqs: specs})
+	if err != nil {
+		return InjectResult{}, err
+	}
+	if r.err != nil {
+		return InjectResult{}, r.err
+	}
+	return InjectResult{Added: len(r.ids), IDs: r.ids, Status: r.status}, nil
+}
+
+// stop quiesces the worker (blocking until queued commands drain) and
+// builds the final summary. Idempotent; safe only after the session
+// left the service table (Close) or under drain.
+func (s *Session) stop() Summary {
+	s.stopOnce.Do(func() {
+		cmd := &command{kind: cmdStop, reply: make(chan cmdReply, 1)}
+		// Blocking send: queued commands ahead of the stop drain first,
+		// so their callers get real replies, not ErrSessionClosed.
+		select {
+		case s.queue <- cmd:
+			<-s.done
+		case <-s.done:
+		}
+		st := s.freshStatus()
+		s.setStatus(st)
+		sum := Summary{Status: st, Served: st.Progress.Served}
+		if res := s.sim.Result(); res != nil {
+			sum.Served = res.TotalServed()
+			sum.Timely = res.TotalTimelyServed()
+			sum.Unserved = len(res.Requests) - sum.Served
+		}
+		s.summary = sum
+	})
+	return s.summary
+}

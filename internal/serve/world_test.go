@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mobirescue/internal/dispatch"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+)
+
+// The serve tests run against a lightweight fixture world — a small
+// generated city, seeded synthetic requests, the greedy dispatcher —
+// so they exercise the session machinery without building the full
+// scenario stack (core.SessionWorld covers that wiring in its own
+// tests).
+
+var twStart = time.Date(2018, 9, 16, 0, 0, 0, 0, time.UTC)
+
+var (
+	twOnce sync.Once
+	twCity *roadnet.City
+	twErr  error
+)
+
+func fixtureCity() (*roadnet.City, error) {
+	twOnce.Do(func() {
+		cfg := roadnet.DefaultGenConfig()
+		cfg.GridRows, cfg.GridCols = 4, 4
+		twCity, twErr = roadnet.GenerateCity(cfg)
+	})
+	return twCity, twErr
+}
+
+// testWorld is a deterministic serve.World: the spec's seed derives the
+// request pattern, so the same spec always yields an identical session.
+type testWorld struct{}
+
+func (testWorld) NewSessionSim(spec SessionSpec, rec *eventlog.Recorder) (*sim.Simulator, int, error) {
+	switch spec.Method {
+	case "", "greedy":
+	default:
+		return nil, 0, fmt.Errorf("testworld: unknown method %q", spec.Method)
+	}
+	city, err := fixtureCity()
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := sim.DefaultConfig(twStart)
+	cfg.Duration = time.Hour
+	cfg.Workers = 1
+	cfg.Events = rec
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nseg := city.Graph.NumSegments()
+	reqs := make([]sim.Request, 0, 6)
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, sim.Request{
+			ID:       sim.RequestID(i),
+			Seg:      roadnet.SegmentID(rng.Intn(nseg)),
+			AppearAt: twStart.Add(time.Duration(rng.Intn(1800)) * time.Second),
+		})
+	}
+	teams := spec.Teams
+	if teams <= 0 {
+		teams = 2
+	}
+	starts, err := fixtureStarts(city, teams)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := sim.New(city, sim.StaticCost{}, dispatch.NewGreedy(), reqs, starts, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, len(reqs), nil
+}
+
+// fixtureStarts places teams at the fixture city's hospitals.
+func fixtureStarts(city *roadnet.City, teams int) ([]roadnet.Position, error) {
+	starts := make([]roadnet.Position, 0, teams)
+	for i := 0; i < teams; i++ {
+		h := city.Hospitals[i%len(city.Hospitals)]
+		pos, err := city.Graph.AtLandmark(h)
+		if err != nil {
+			return nil, err
+		}
+		starts = append(starts, pos)
+	}
+	return starts, nil
+}
+
+// newTestService builds a service over the fixture world.
+func newTestService(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	svc, err := NewService(testWorld{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}

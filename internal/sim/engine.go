@@ -55,10 +55,15 @@ type Simulator struct {
 	router      *roadnet.Router
 	activeBySeg map[roadnet.SegmentID][]int
 	nextAppear  int
-	// restored marks a simulator rebuilt mid-run from a snapshot
-	// (RestoreState): the run_start event was already emitted by the
-	// original run and must not repeat.
-	restored bool
+	// started records that the run has begun (run_start emitted, or the
+	// simulator was restored from a snapshot of a run that had). It
+	// guards the run_start event against double emission across
+	// incremental Advance calls and snapshot resumes.
+	started bool
+	// finished records that the configured duration is exhausted; the
+	// finalized outcome is cached in result.
+	finished bool
+	result   *Result
 
 	delayed []timedOrders
 	rounds  []RoundStat
@@ -189,72 +194,146 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	ctx, runSpan := obs.StartSpan(ctx, "sim.run")
 	defer runSpan.End()
-	if s.ev != nil && !s.restored {
+	if _, err := s.Advance(ctx, 0); err != nil {
+		return nil, err
+	}
+	return s.result, nil
+}
+
+// start emits the run_start event exactly once per run. A simulator
+// restored mid-run (RestoreState) inherits started=true: the original
+// run already emitted it.
+func (s *Simulator) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.ev != nil {
 		s.ev.Emit(eventlog.Event{
 			Type: eventlog.TypeRunStart, Run: s.ev.Run(),
 			Method: s.disp.Name(), T: s.cfg.Start, N: len(s.requests),
 		})
 	}
-	end := s.cfg.Start.Add(s.cfg.Duration)
-	for s.now.Before(end) {
-		// Surface newly appeared requests.
-		for s.nextAppear < len(s.requests) && !s.requests[s.nextAppear].AppearAt.After(s.now) {
-			idx := s.nextAppear
-			seg := s.requests[idx].Seg
-			s.activeBySeg[seg] = append(s.activeBySeg[seg], idx)
-			s.nextAppear++
-		}
-		// Apply breakdown faults that have come due.
-		for s.nextFault < len(s.faults) && !s.faults[s.nextFault].At.After(s.now) {
-			f := s.faults[s.nextFault]
-			s.nextFault++
-			v := s.vehicles[f.Vehicle]
-			if until := f.At.Add(f.Duration); until.After(v.stalledUntil) {
-				v.stalledUntil = until
-			}
-			s.res.VehicleStalls++
-			s.met.stalls.Inc()
-			if s.ev != nil {
-				s.ev.Emit(eventlog.Event{
-					Type: eventlog.TypeFault, Kind: "stall",
-					Vehicle: int(f.Vehicle), DurMS: f.Duration.Milliseconds(), T: s.now,
-				})
-			}
-			if s.log != nil {
-				s.log.Debug("vehicle breakdown", "vehicle", f.Vehicle, "t", s.now, "duration", f.Duration)
-			}
-		}
-		// Dispatch round.
-		if !s.now.Before(s.nextRound) {
-			// The window hook fires before any of the round's work —
-			// including the cost rebind — so a snapshot captured here
-			// resumes into a simulator whose router cache is cold in
-			// exactly the way the uninterrupted run's is after Rebind.
-			if s.cfg.Hook != nil {
-				if err := s.cfg.Hook(s, len(s.rounds)); err != nil {
-					return nil, err
-				}
-			}
-			// Window-boundary memory reading: one stop-the-world
-			// ReadMemStats per dispatch round, never per step.
-			s.met.mem.Observe()
-			s.refreshCost()
-			// The cost model only changes at round boundaries, so this
-			// is the moment routes planned under the old flood state can
-			// have been invalidated.
-			s.rerouteVehicles()
-			s.round(ctx)
-			s.nextRound = s.nextRound.Add(s.cfg.Period)
-		}
-		// Apply orders whose computation delay has elapsed.
-		s.applyDueOrders()
-		// Move vehicles.
-		for _, v := range s.vehicles {
-			s.stepVehicle(v)
-		}
-		s.met.steps.Inc()
-		s.now = s.now.Add(s.cfg.Step)
+}
+
+// roundDue reports whether the simulator sits on a dispatch-window
+// boundary: the next stepOnce will run a dispatch round first. It is
+// the stop condition of a window-bounded Advance, which makes every
+// Advance stop point a valid CaptureState point (the same boundary the
+// durability layer's window hook snapshots at).
+func (s *Simulator) roundDue() bool { return !s.now.Before(s.nextRound) }
+
+// Advance runs the simulation forward until `windows` more dispatch
+// rounds have completed — stopping exactly at the following window
+// boundary, before that window's hook or round runs — or until the
+// configured duration is exhausted, whichever comes first. windows <= 0
+// runs to completion. It reports done=true once the run has ended; the
+// finalized outcome is then available from Result.
+//
+// Advance is what turns the episode-scoped simulator into a resident
+// one: a scenario session advances window by window on demand, ingests
+// streamed requests between calls (InjectRequests), and — because every
+// stop point is a window boundary — can be captured (CaptureState) and
+// later resumed byte-identically. A sequence of Advance calls produces
+// exactly the same results, metrics, and event stream as one RunContext
+// over the same inputs.
+func (s *Simulator) Advance(ctx context.Context, windows int) (bool, error) {
+	if s.finished {
+		return true, nil
 	}
+	s.start()
+	end := s.cfg.Start.Add(s.cfg.Duration)
+	ran := 0
+	for s.now.Before(end) {
+		if windows > 0 && ran >= windows && s.roundDue() {
+			return false, nil
+		}
+		roundRan, err := s.stepOnce(ctx)
+		if err != nil {
+			return false, err
+		}
+		if roundRan {
+			ran++
+		}
+	}
+	s.complete()
+	return true, nil
+}
+
+// stepOnce advances the simulation by one integration step — surfacing
+// appeared requests, applying due faults, running the dispatch round
+// when one is due, applying matured orders, and moving vehicles. It
+// reports whether a dispatch round ran.
+func (s *Simulator) stepOnce(ctx context.Context) (bool, error) {
+	// Surface newly appeared requests.
+	for s.nextAppear < len(s.requests) && !s.requests[s.nextAppear].AppearAt.After(s.now) {
+		idx := s.nextAppear
+		seg := s.requests[idx].Seg
+		s.activeBySeg[seg] = append(s.activeBySeg[seg], idx)
+		s.nextAppear++
+	}
+	// Apply breakdown faults that have come due.
+	for s.nextFault < len(s.faults) && !s.faults[s.nextFault].At.After(s.now) {
+		f := s.faults[s.nextFault]
+		s.nextFault++
+		v := s.vehicles[f.Vehicle]
+		if until := f.At.Add(f.Duration); until.After(v.stalledUntil) {
+			v.stalledUntil = until
+		}
+		s.res.VehicleStalls++
+		s.met.stalls.Inc()
+		if s.ev != nil {
+			s.ev.Emit(eventlog.Event{
+				Type: eventlog.TypeFault, Kind: "stall",
+				Vehicle: int(f.Vehicle), DurMS: f.Duration.Milliseconds(), T: s.now,
+			})
+		}
+		if s.log != nil {
+			s.log.Debug("vehicle breakdown", "vehicle", f.Vehicle, "t", s.now, "duration", f.Duration)
+		}
+	}
+	// Dispatch round.
+	roundRan := false
+	if s.roundDue() {
+		// The window hook fires before any of the round's work —
+		// including the cost rebind — so a snapshot captured here
+		// resumes into a simulator whose router cache is cold in
+		// exactly the way the uninterrupted run's is after Rebind.
+		if s.cfg.Hook != nil {
+			if err := s.cfg.Hook(s, len(s.rounds)); err != nil {
+				return false, err
+			}
+		}
+		// Window-boundary memory reading: one stop-the-world
+		// ReadMemStats per dispatch round, never per step.
+		s.met.mem.Observe()
+		s.refreshCost()
+		// The cost model only changes at round boundaries, so this
+		// is the moment routes planned under the old flood state can
+		// have been invalidated.
+		s.rerouteVehicles()
+		s.round(ctx)
+		s.nextRound = s.nextRound.Add(s.cfg.Period)
+		roundRan = true
+	}
+	// Apply orders whose computation delay has elapsed.
+	s.applyDueOrders()
+	// Move vehicles.
+	for _, v := range s.vehicles {
+		s.stepVehicle(v)
+	}
+	s.met.steps.Inc()
+	s.now = s.now.Add(s.cfg.Step)
+	return roundRan, nil
+}
+
+// complete finalizes the run: the Result is built and cached, outcome
+// metrics and the run_end event are emitted. Idempotent.
+func (s *Simulator) complete() *Result {
+	if s.result != nil {
+		return s.result
+	}
+	s.finished = true
 	res := &Result{
 		Method:        s.disp.Name(),
 		Config:        s.cfg,
@@ -264,7 +343,98 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		Resilience:    s.res,
 	}
 	s.finishRun(res)
-	return res, nil
+	s.result = res
+	return res
+}
+
+// Result returns the finalized outcome once the run has completed
+// (Advance reported done, or RunContext returned), and nil while it is
+// still in progress. A simulator restored from a finished run's
+// snapshot rebuilds the same Result without re-emitting run_end or
+// outcome metrics — the original run already did.
+func (s *Simulator) Result() *Result {
+	if !s.finished {
+		return nil
+	}
+	if s.result == nil {
+		s.result = &Result{
+			Method:        s.disp.Name(),
+			Config:        s.cfg,
+			Requests:      s.requests,
+			Rounds:        s.rounds,
+			ComputeDelays: s.delays,
+			Resilience:    s.res,
+		}
+	}
+	return s.result
+}
+
+// Progress is a simulator's live position, cheap enough to expose on a
+// per-query basis from a serving session.
+type Progress struct {
+	Now      time.Time `json:"now"`
+	Window   int       `json:"window"`   // completed dispatch windows
+	Requests int       `json:"requests"` // known requests (ground truth + injected)
+	Appeared int       `json:"appeared"`
+	Served   int       `json:"served"`
+	Active   int       `json:"active"` // appeared and not yet picked up
+	Finished bool      `json:"finished"`
+}
+
+// Progress reports the simulator's live position.
+func (s *Simulator) Progress() Progress {
+	active := 0
+	for _, idxs := range s.activeBySeg {
+		for _, i := range idxs {
+			if !s.requests[i].Served() {
+				active++
+			}
+		}
+	}
+	return Progress{
+		Now:      s.now,
+		Window:   len(s.rounds),
+		Requests: len(s.requests),
+		Appeared: s.nextAppear,
+		Served:   s.servedCnt,
+		Active:   active,
+		Finished: s.finished,
+	}
+}
+
+// InjectRequests streams new rescue requests into a running simulation —
+// the serving path's ingestion, replacing the episode-scoped array
+// fixed at construction. Requests must name valid segments and appear
+// at or after the simulator's current time; IDs are the caller's to
+// allocate (sessions number them past the ground-truth range). The
+// batch is all-or-nothing: nothing is admitted unless every request
+// validates.
+//
+// The not-yet-appeared tail of the request table is re-sorted stably by
+// appearance time, so an injection is equivalent to having constructed
+// the simulator with the request present from the start — appeared
+// requests, and every index held by vehicles or the active table, never
+// move.
+func (s *Simulator) InjectRequests(reqs []Request) error {
+	if s.finished {
+		return fmt.Errorf("sim: run already complete")
+	}
+	for _, r := range reqs {
+		if int(r.Seg) < 0 || int(r.Seg) >= s.city.Graph.NumSegments() {
+			return fmt.Errorf("sim: injected request %d on invalid segment %d", r.ID, r.Seg)
+		}
+		if r.AppearAt.Before(s.now) {
+			return fmt.Errorf("sim: injected request %d appears at %v, before simulation time %v", r.ID, r.AppearAt, s.now)
+		}
+	}
+	for _, r := range reqs {
+		s.requests = append(s.requests, RequestOutcome{Request: r, ServedBy: -1})
+	}
+	tail := s.requests[s.nextAppear:]
+	sort.SliceStable(tail, func(i, j int) bool {
+		return tail[i].AppearAt.Before(tail[j].AppearAt)
+	})
+	return nil
 }
 
 // finishRun records end-of-run outcome metrics and the summary log line.

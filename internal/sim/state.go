@@ -69,6 +69,12 @@ type simWire struct {
 	Res        ResilienceStats
 	Window     int
 	ServedCnt  int
+	// Started/Finished carry the run-lifecycle flags: a restored
+	// simulator must not re-emit run_start (the original run did), and a
+	// finished run restores to a queryable terminal state rather than
+	// re-running.
+	Started  bool
+	Finished bool
 	// PendingHits/PendingMisses are the tree-cache deltas accumulated
 	// since the last decide event (vehicle stepping and order application
 	// route too). The restored simulator's fresh router starts at zero,
@@ -98,6 +104,8 @@ func (s *Simulator) CaptureState() ([]byte, error) {
 		Res:        s.res,
 		Window:     s.window,
 		ServedCnt:  s.servedCnt,
+		Started:    s.started,
+		Finished:   s.finished,
 	}
 	for _, v := range s.vehicles {
 		vw := vehicleWire{
@@ -221,6 +229,11 @@ func (s *Simulator) RestoreState(blob []byte) error {
 	if s.ev != nil {
 		s.ev.SetWindow(w.Window)
 	}
-	s.restored = true
+	// A snapshot is only taken mid-run, after run_start — but Started is
+	// carried explicitly rather than assumed, so a pre-start capture (a
+	// session checkpointed before its first Advance) also round-trips.
+	s.started = w.Started
+	s.finished = w.Finished
+	s.result = nil
 	return nil
 }

@@ -41,7 +41,11 @@ import (
 
 // Version is the snapshot payload format version carried in the
 // envelope header. Bump on any RunState wire change.
-const Version = 1
+//
+// v2: simWire gained Started/Finished run-lifecycle flags (PR-9
+// incremental Advance); a v1 blob restored under v2 would re-emit
+// run_start, breaking resume byte-identity.
+const Version = 2
 
 // DefaultKeep is how many snapshot generations Manager retains when the
 // caller passes keep <= 0. Two generations is the minimum that survives
