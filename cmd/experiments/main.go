@@ -59,6 +59,7 @@ import (
 
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
+	"mobirescue/internal/ilp"
 	"mobirescue/internal/obs"
 	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/sim"
@@ -73,6 +74,7 @@ func main() {
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests, like the paper)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fig      = flag.String("fig", "all", "which figure to print: all, 9..16, latency")
+		solver   = flag.String("assign-solver", "exact", "assignment solver for dispatcher cost matrices: "+ilp.SolverNames)
 		chaosArg = flag.String("chaos", "off", "chaos profile: "+chaos.ProfileNames)
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
@@ -122,7 +124,7 @@ func main() {
 		logger.Info("observability server listening", slog.String("addr", server.Addr()))
 	}
 
-	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, *workers, *trainWk, *trainAc, *savePol, reg, logger)
+	sc, sys, err := buildSystem(ctx, *scale, *seed, *teams, *workers, *trainWk, *trainAc, *savePol, *solver, reg, logger)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -373,7 +375,7 @@ func runChaosComparison(sys *core.System, base *core.Comparison, profile chaos.P
 
 // buildSystem constructs scenario and system at the requested scale,
 // wiring the metrics registry and logger through both.
-func buildSystem(ctx context.Context, scale string, seed int64, teams, workers, trainWorkers, trainActors int, checkpointPath string, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
+func buildSystem(ctx context.Context, scale string, seed int64, teams, workers, trainWorkers, trainActors int, checkpointPath, solver string, reg *obs.Registry, logger *slog.Logger) (*core.Scenario, *core.System, error) {
 	scCfg, err := core.ScenarioConfigForScale(scale)
 	if err != nil {
 		return nil, nil, err
@@ -391,6 +393,7 @@ func buildSystem(ctx context.Context, scale string, seed int64, teams, workers, 
 	sysCfg.TrainWorkers = trainWorkers
 	sysCfg.TrainActors = trainActors
 	sysCfg.CheckpointPath = checkpointPath
+	sysCfg.AssignmentSolver = solver
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)

@@ -58,6 +58,7 @@ import (
 
 	"mobirescue/internal/chaos"
 	"mobirescue/internal/core"
+	"mobirescue/internal/ilp"
 	"mobirescue/internal/obs"
 	"mobirescue/internal/obs/eventlog"
 	"mobirescue/internal/sim"
@@ -72,6 +73,7 @@ func main() {
 		episodes = flag.Int("episodes", 6, "RL training episodes (mr only)")
 		teams    = flag.Int("teams", 0, "fleet size (0 = max daily requests)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		solver   = flag.String("assign-solver", "exact", "assignment solver for dispatcher cost matrices: "+ilp.SolverNames)
 		chaosArg = flag.String("chaos", "off", "chaos profile: "+chaos.ProfileNames)
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
@@ -158,6 +160,7 @@ func main() {
 	sysCfg.CheckpointPath = *savePol
 	sysCfg.CheckpointEvery = *ckptEv
 	sysCfg.DecideTimeout = *decideDl
+	sysCfg.AssignmentSolver = *solver
 	sysCfg.Metrics = reg
 	sysCfg.Logger = logger
 	sys, err := core.NewSystemContext(ctx, sc, sysCfg)

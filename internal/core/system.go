@@ -50,6 +50,13 @@ type SystemConfig struct {
 	Sim sim.Config
 	// IPLatency models the baselines' integer-programming solve time.
 	IPLatency ilp.LatencyModel
+	// AssignmentSolver selects the assignment solver every dispatcher's
+	// cost-matrix solves run through: "exact" (or empty — the default)
+	// is the Hungarian reference; "auction" is the ε-scaling auction
+	// solver with cross-window warm starts (exactly optimal on integer
+	// costs, see internal/ilp). The default keeps every run byte-identical
+	// to the pre-selector behavior.
+	AssignmentSolver string
 	// Workers bounds the evaluation pipeline's parallelism: the routing
 	// layer's tree prefetching inside every simulation, the concurrent
 	// method runs of RunComparison, and the concurrent eval days of
@@ -138,6 +145,9 @@ type System struct {
 	trainedEpisodes uint64
 	// evlog is the optional flight recorder (see eventlog.go); nil off.
 	evlog *eventlog.Log
+	// solver is the parsed Config.AssignmentSolver selection, applied to
+	// every dispatcher the system builds.
+	solver ilp.SolverKind
 }
 
 // NewSystem trains the SVM on the training episode and wires up the RL
@@ -155,6 +165,10 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	solverKind, err := ilp.ParseSolver(cfg.AssignmentSolver)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	svmStart := time.Now()
 	_, svmSpan := obs.StartSpan(ctx, "svm.train")
@@ -213,6 +227,7 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 		EvalProvider:  evalProv,
 		Teams:         teams,
 		baseCtx:       ctx,
+		solver:        solverKind,
 	}
 	if cfg.Metrics != nil {
 		sys.trainEpisodes = cfg.Metrics.Counter(MetricTrainEpisodes, "RL training episodes completed.")
@@ -230,6 +245,9 @@ func NewSystemContext(ctx context.Context, sc *Scenario, cfg SystemConfig) (*Sys
 		return nil, err
 	}
 	mr.EnableMetrics(cfg.Metrics)
+	if solverKind != ilp.SolverExact {
+		mr.SetAssigner(ilp.NewAssigner(solverKind))
+	}
 	sys.MR = mr
 	sys.installDemandSource()
 	return sys, nil
@@ -390,6 +408,12 @@ func (s *System) runDayOpts(ctx context.Context, ep *Episode, day int, disp sim.
 	cfg := s.simConfigForDay(ep, day)
 	cfg.Events = rec
 	cfg.Hook = opts.hook
+	// Hand the run's recorder to solver-aware dispatchers before any
+	// chaos wrapping, so fast-path solver events land in the run's
+	// stream; a nil rec clears a recorder left from a previous run.
+	if ev, ok := disp.(interface{ SetEvents(*eventlog.Recorder) }); ok {
+		ev.SetEvents(rec)
+	}
 	requests := RequestsForDay(ep, day)
 	starts, err := VehicleStarts(s.Scenario.City, s.Teams, s.Config.Seed)
 	if err != nil {
@@ -591,7 +615,11 @@ func (s *System) NewRescueBaseline() (*dispatch.Rescue, error) {
 		hour := int(r.RequestTime.Sub(cfg.Start) / time.Hour)
 		pred.Observe(int(r.Seg), hour, 1)
 	}
-	return dispatch.NewRescue(pred, cfg.Start, s.Config.IPLatency), nil
+	rescue := dispatch.NewRescue(pred, cfg.Start, s.Config.IPLatency)
+	if s.solver != ilp.SolverExact {
+		rescue.SetAssigner(ilp.NewAssigner(s.solver))
+	}
+	return rescue, nil
 }
 
 // RunMethod runs a single dispatch method over the evaluation episode's
@@ -648,6 +676,9 @@ func (s *System) runEvalDayRec(day int, disp sim.Dispatcher, rec *eventlog.Recor
 func (s *System) newSchedule() *dispatch.Schedule {
 	sched := dispatch.NewSchedule(s.Scenario.City.Graph, s.Config.IPLatency)
 	sched.SetWorkers(s.Config.Workers)
+	if s.solver != ilp.SolverExact {
+		sched.SetAssigner(ilp.NewAssigner(s.solver))
+	}
 	return sched
 }
 

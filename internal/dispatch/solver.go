@@ -1,0 +1,71 @@
+package dispatch
+
+import (
+	"mobirescue/internal/ilp"
+	"mobirescue/internal/obs/eventlog"
+)
+
+// solverHook is the fast-assignment plumbing shared by the three
+// dispatchers: an optional ilp.Assigner (the auction solver with its
+// cross-window warm state) and an optional flight recorder for solver
+// events. The zero value — no assigner, no recorder — keeps every
+// dispatcher on the exact Hungarian reference path, byte-identical to
+// the pre-solver-selector behavior.
+type solverHook struct {
+	assigner *ilp.Assigner
+	events   *eventlog.Recorder
+}
+
+// SetAssigner installs the assignment solver used for every cost-matrix
+// solve. Nil (the default) means the exact Hungarian solver. The
+// assigner is owned by this dispatcher: it carries scratch space and
+// warm-start duals and must not be shared with another dispatcher.
+func (h *solverHook) SetAssigner(a *ilp.Assigner) { h.assigner = a }
+
+// SetEvents attaches (or with nil detaches) the per-run flight recorder
+// that fast-path solves emit solver events into. The simulation driver
+// calls it once per run with that run's recorder.
+func (h *solverHook) SetEvents(rec *eventlog.Recorder) { h.events = rec }
+
+// solverKind reports the configured solver (exact when unset).
+func (h *solverHook) solverKind() ilp.SolverKind { return h.assigner.Kind() }
+
+// solveAssignment runs one assignment instance through the configured
+// solver. rowKeys/colKeys feed the auction warm start (pass nil on the
+// exact path — they are ignored there). On a non-exact solve a solver
+// event is emitted, so auction runs are distinguishable in the event
+// log; the exact path emits nothing, keeping default logs byte-stable.
+func (h *solverHook) solveAssignment(method string, cost [][]float64, rowKeys, colKeys []int64) ([]int, float64, error) {
+	assign, total, err := h.assigner.Solve(cost, rowKeys, colKeys)
+	if h.assigner.Kind() != ilp.SolverExact && h.events != nil {
+		st := h.assigner.Last()
+		h.events.Emit(eventlog.Event{
+			Type:    eventlog.TypeSolver,
+			Method:  method,
+			Kind:    st.Kind.String(),
+			Rows:    st.Rows,
+			Cols:    st.Cols,
+			Bids:    st.Bids,
+			Warm:    st.WarmSeeded,
+			Restart: st.Restarted,
+		})
+	}
+	return assign, total, err
+}
+
+// captureSolverState snapshots the assigner's warm-start duals: the
+// warm prices break ties among equally optimal assignments, so exact
+// crash-safe resume must restore them. Nil/exact assigners produce the
+// empty wire form.
+func (h *solverHook) captureSolverState() ([]byte, error) {
+	return h.assigner.CaptureState()
+}
+
+// restoreSolverState restores a captureSolverState snapshot (no-op on a
+// nil assigner).
+func (h *solverHook) restoreSolverState(blob []byte) error {
+	if h.assigner == nil || len(blob) == 0 {
+		return nil
+	}
+	return h.assigner.RestoreState(blob)
+}

@@ -1,0 +1,193 @@
+package dispatch
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"mobirescue/internal/ilp"
+	"mobirescue/internal/obs/eventlog"
+	"mobirescue/internal/roadnet"
+	"mobirescue/internal/sim"
+	"mobirescue/internal/tsa"
+)
+
+// solverTestLog builds a flight-recorder log writing into buf.
+func solverTestLog(t *testing.T, buf *bytes.Buffer) *eventlog.Log {
+	t.Helper()
+	l, err := eventlog.New(buf, eventlog.Manifest{Scale: "test", Seed: 1}, eventlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSolverHookEmitsEvents pins the event-log half of the solver
+// selector: a non-exact solve emits one typed solver event per solve,
+// and the exact path emits nothing (so default logs stay byte-stable).
+func TestSolverHookEmitsEvents(t *testing.T) {
+	cost := [][]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}
+	rowKeys := []int64{10, 11, 12}
+	colKeys := []int64{20, 21, 22}
+
+	var buf bytes.Buffer
+	l := solverTestLog(t, &buf)
+	rec := l.Recorder("test")
+	var h solverHook
+	h.SetAssigner(ilp.NewAssigner(ilp.SolverAuction))
+	h.SetEvents(rec)
+	assign, total, err := h.solveAssignment("Schedule", cost, rowKeys, colKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want, _ := ilp.Hungarian(cost); total != want {
+		t.Fatalf("auction total = %v, want %v", total, want)
+	}
+	if len(assign) != 3 {
+		t.Fatalf("assignment length = %d, want 3", len(assign))
+	}
+	l.Append(rec)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ev":"solver"`) {
+		t.Fatalf("auction solve emitted no solver event:\n%s", out)
+	}
+	if !strings.Contains(out, `"kind":"auction"`) || !strings.Contains(out, `"method":"Schedule"`) {
+		t.Fatalf("solver event missing kind/method fields:\n%s", out)
+	}
+
+	// Exact path: same emission harness, zero solver events.
+	buf.Reset()
+	l = solverTestLog(t, &buf)
+	rec = l.Recorder("test")
+	var exact solverHook
+	exact.SetEvents(rec)
+	if _, _, err := exact.solveAssignment("Schedule", cost, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(rec)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ev":"solver"`) {
+		t.Fatalf("exact solve emitted a solver event:\n%s", buf.String())
+	}
+}
+
+// TestScheduleAuctionMatchesExact runs the Schedule baseline's full
+// Decide under both solvers on the same snapshot: the auction path must
+// produce the same order multiset (free-flow costs are generic reals,
+// so the optimal assignment is unique).
+func TestScheduleAuctionMatchesExact(t *testing.T) {
+	city := testCity(t)
+	byRegion := city.Graph.SegmentIDsByRegion()
+	var reqs []roadnet.SegmentID
+	for r := 1; r <= 4; r++ {
+		reqs = append(reqs, byRegion[r][0])
+	}
+	decide := func(kind ilp.SolverKind) []sim.Order {
+		snap := testSnapshot(t, city, city.Hospitals[:6], reqs)
+		s := NewSchedule(city.Graph, ilp.LatencyModel{})
+		if kind != ilp.SolverExact {
+			s.SetAssigner(ilp.NewAssigner(kind))
+		}
+		orders, _ := s.Decide(snap)
+		sort.Slice(orders, func(i, j int) bool { return orders[i].Vehicle < orders[j].Vehicle })
+		return orders
+	}
+	exact := decide(ilp.SolverExact)
+	auction := decide(ilp.SolverAuction)
+	if len(exact) != len(auction) {
+		t.Fatalf("order counts differ: exact %d, auction %d", len(exact), len(auction))
+	}
+	for i := range exact {
+		if exact[i].Vehicle != auction[i].Vehicle || exact[i].Target != auction[i].Target {
+			t.Errorf("order %d differs: exact %+v, auction %+v", i, exact[i], auction[i])
+		}
+	}
+}
+
+// TestRescueStateCodecAuction pins the wrapped state format of the
+// Rescue baseline under a non-exact solver: capture/restore must round
+// trip the warm duals, and the exact path must keep the original bare
+// predictor blob (crash-safe snapshots from older runs stay readable).
+func TestRescueStateCodecAuction(t *testing.T) {
+	city := testCity(t)
+	mk := func(kind ilp.SolverKind) *Rescue {
+		pred, err := tsa.New(3, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range city.Graph.SegmentIDsByRegion()[1] {
+			pred.Observe(int(seg), 10, 2)
+		}
+		r := NewRescue(pred, dispStart, ilp.LatencyModel{})
+		if kind != ilp.SolverExact {
+			r.SetAssigner(ilp.NewAssigner(kind))
+		}
+		return r
+	}
+
+	exact := mk(ilp.SolverExact)
+	blob, err := exact.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact-path blob must stay the bare predictor format (gob map
+	// encoding is not byte-deterministic, so decodability is the check).
+	bare, err := tsa.New(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.RestoreState(blob); err != nil {
+		t.Fatalf("exact-path Rescue blob is not a bare predictor blob: %v", err)
+	}
+
+	auction := mk(ilp.SolverAuction)
+	snap := testSnapshot(t, city, city.Hospitals[:4], nil)
+	auction.Decide(snap) // populates predictor history and (maybe) warm duals
+	blob, err = auction.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := mk(ilp.SolverAuction)
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := restored.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb) == 0 {
+		t.Fatal("restored Rescue captured an empty blob")
+	}
+}
+
+// TestActorViewFreshAssigner: rollout views run concurrently, so a view
+// of an auction-configured MobiRescue must get its own assigner (the
+// workspace and warm duals are not concurrency-safe), while an
+// exact-configured one keeps the nil fast path.
+func TestActorViewFreshAssigner(t *testing.T) {
+	city := testCity(t)
+	m, err := NewMobiRescue(city.NumRegions(), constPredict(nil), DefaultMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.ActorView(m.Agent()); v.assigner != nil {
+		t.Fatal("exact view grew an assigner")
+	}
+	m.SetAssigner(ilp.NewAssigner(ilp.SolverAuction))
+	v := m.ActorView(m.Agent())
+	if v.assigner == nil {
+		t.Fatal("auction view has no assigner")
+	}
+	if v.assigner == m.assigner {
+		t.Fatal("view shares the primary's assigner")
+	}
+	if v.solverKind() != ilp.SolverAuction {
+		t.Fatalf("view solver = %v, want auction", v.solverKind())
+	}
+}

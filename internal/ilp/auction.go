@@ -1,0 +1,656 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file implements the Bertsekas auction algorithm for the same
+// rectangular min-cost assignment problem Hungarian solves, plus the
+// zero-alloc AuctionInto variant over a caller-owned Workspace and the
+// cross-window WarmState price reuse (see warm.go).
+//
+// Why it is exact, not approximate: the solver first maps every cost to
+// an integer grid (costs that are already integers map 1:1 — no
+// rounding at all), then multiplies the grid by (size+1) and runs
+// ε-scaling down to ε = 1. A completed auction assignment is within
+// size·ε of the optimum; with every cost a multiple of (size+1) and
+// ε = 1 that slack is smaller than the distance between two distinct
+// totals, so the assignment is exactly optimal for the integer grid.
+// Integer-valued inputs therefore get the same total as Hungarian,
+// bit-for-bit; non-integer inputs are solved exactly on a grid with
+// ~2^30 resolution steps (the quantization error per cell is
+// |cost|·2^-30 — far below float noise for travel times).
+
+// costLimit bounds the scaled integer cost magnitude so worst-case
+// auction prices (≲ size·maxC) stay far from int64 overflow.
+const costLimit = int64(1) << 46
+
+// negInfVal is a sentinel "no second-best object" value, chosen so that
+// best-negInfVal never overflows.
+const negInfVal = math.MinInt64 / 4
+
+// SolveStats describes one Assigner/auction solve, for telemetry and
+// flight-recorder events.
+type SolveStats struct {
+	Kind       SolverKind
+	Rows       int
+	Cols       int
+	Bids       int // bidding iterations across all ε phases
+	Phases     int
+	WarmSeeded int  // columns whose price was seeded from WarmState
+	WarmKept   int  // rows reseated from the previous window's matching
+	Restarted  bool // warm phase hit its bid cap and restarted cold
+}
+
+// Workspace owns the auction solver's scratch so repeated solves
+// allocate nothing once the buffers have grown to the instance size
+// (the PR-3/PR-5 caller-owned-workspace idiom). A Workspace must not be
+// shared between concurrent solvers. The zero value is ready to use.
+type Workspace struct {
+	c      []int64 // scaled costs, flattened size*size
+	price  []int64 // per-column auction price
+	owner  []int   // column -> row (-1 free)
+	assign []int   // row -> column (-1 unassigned)
+	stack  []int   // unassigned rows pending a bid
+	out    []int   // result buffer, len = rows
+	// colIndex maps warm column keys back to indices when reseating the
+	// previous window's matching; lazily allocated, reused across solves.
+	colIndex map[int64]int
+	stats    SolveStats
+}
+
+// Stats returns the last solve's statistics.
+func (ws *Workspace) Stats() SolveStats { return ws.stats }
+
+// grow sizes the scratch for a size×size padded instance with n result
+// rows, reusing previous capacity.
+func (ws *Workspace) grow(size, n int) {
+	cells := size * size
+	if cap(ws.c) < cells {
+		ws.c = make([]int64, cells)
+		ws.price = make([]int64, size)
+		ws.owner = make([]int, size)
+		ws.assign = make([]int, size)
+		ws.stack = make([]int, 0, size)
+	}
+	ws.c = ws.c[:cells]
+	if cap(ws.price) < size {
+		ws.price = make([]int64, size)
+		ws.owner = make([]int, size)
+		ws.assign = make([]int, size)
+	}
+	ws.price = ws.price[:size]
+	ws.owner = ws.owner[:size]
+	ws.assign = ws.assign[:size]
+	ws.stack = ws.stack[:0]
+	if cap(ws.out) < n {
+		ws.out = make([]int, n)
+	}
+	ws.out = ws.out[:n]
+}
+
+// validateCost checks the shared Hungarian/Auction input contract:
+// rectangular shape, no NaN, no -Inf (+Inf marks a forbidden cell).
+// It returns rows, cols and the maximum finite |cost|.
+func validateCost(cost [][]float64) (n, m int, maxAbs float64, err error) {
+	n = len(cost)
+	if n == 0 {
+		return 0, 0, 0, nil
+	}
+	m = len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			return 0, 0, 0, fmt.Errorf("ilp: ragged cost matrix at row %d", i)
+		}
+		for j, c := range cost[i] {
+			switch {
+			case math.IsNaN(c):
+				return 0, 0, 0, fmt.Errorf("ilp: NaN cost at (%d,%d)", i, j)
+			case math.IsInf(c, -1):
+				return 0, 0, 0, fmt.Errorf("ilp: -Inf cost at (%d,%d)", i, j)
+			case !math.IsInf(c, 1) && math.Abs(c) > maxAbs:
+				maxAbs = math.Abs(c)
+			}
+		}
+	}
+	return n, m, maxAbs, nil
+}
+
+// costScale picks the integer grid for a padded size×size instance:
+// scale 1 when every finite cost is already integral and fits the
+// overflow budget (the exact path), otherwise the largest power-of-two
+// scale that keeps the padded costs within costLimit.
+func costScale(cost [][]float64, size int, maxAbs float64, integral bool) float64 {
+	// qBound is the largest |quantized cost| such that the padding value
+	// bigQ = 2*qBound*size+1, multiplied by (size+1) for ε-scaling,
+	// stays under costLimit.
+	qBound := float64((costLimit/int64(size+1) - 1) / int64(2*size))
+	if integral && maxAbs <= qBound {
+		return 1
+	}
+	scale := 1.0
+	for maxAbs*scale*2 <= qBound {
+		scale *= 2
+	}
+	for maxAbs*scale > qBound && scale > 1e-30 {
+		scale /= 2
+	}
+	return scale
+}
+
+// integralCosts reports whether every finite cost is an exact integer.
+func integralCosts(cost [][]float64) bool {
+	for i := range cost {
+		for _, c := range cost[i] {
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c != math.Trunc(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Auction solves the rectangular min-cost assignment problem with the
+// Bertsekas ε-scaling auction algorithm. The contract is identical to
+// Hungarian: assign[i] is row i's column or -1, Infeasible cells are
+// never assigned, and ErrInfeasible is returned when a perfect matching
+// of the smaller side is impossible. On integer-valued costs the total
+// is exactly optimal (equal to Hungarian's); see the package comment at
+// the top of this file for the argument.
+func Auction(cost [][]float64) (assign []int, total float64, err error) {
+	var ws Workspace
+	a, total, err := AuctionInto(&ws, cost)
+	if a == nil {
+		return nil, total, err
+	}
+	return append([]int(nil), a...), total, err
+}
+
+// AuctionInto is Auction over caller-owned scratch: the returned slice
+// aliases ws and is overwritten by the next solve. Steady-state solves
+// of same-shape instances allocate nothing.
+func AuctionInto(ws *Workspace, cost [][]float64) ([]int, float64, error) {
+	return auctionSolve(ws, cost, nil, nil, nil)
+}
+
+// auctionSolve is the shared cold/warm implementation. warm (optional)
+// seeds column prices keyed by colKeys and receives the final prices
+// and row profits back; rowKeys/colKeys must then match the matrix
+// shape.
+func auctionSolve(ws *Workspace, cost [][]float64, warm *WarmState, rowKeys, colKeys []int64) ([]int, float64, error) {
+	n, m, maxAbs, err := validateCost(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if m == 0 {
+		ws.grow(1, n)
+		out := ws.out[:n]
+		for i := range out {
+			out[i] = -1
+		}
+		return out, 0, fmt.Errorf("ilp: empty columns")
+	}
+	if warm != nil && (len(rowKeys) != n || len(colKeys) != m) {
+		return nil, 0, fmt.Errorf("ilp: warm keys %dx%d do not match cost %dx%d",
+			len(rowKeys), len(colKeys), n, m)
+	}
+	size := n
+	if m > size {
+		size = m
+	}
+	solveStart := time.Now()
+
+	ws.grow(size, n)
+	scale := costScale(cost, size, maxAbs, integralCosts(cost))
+	// bigQ dominates any real sub-assignment so optimal solutions use
+	// the minimum possible number of padded/infeasible cells.
+	qBound := int64(math.Round(maxAbs * scale))
+	bigQ := 2*qBound*int64(size) + 1
+	mult := int64(size + 1)
+	for i := 0; i < size; i++ {
+		row := ws.c[i*size : (i+1)*size]
+		for j := 0; j < size; j++ {
+			if i < n && j < m && !math.IsInf(cost[i][j], 1) {
+				row[j] = int64(math.Round(cost[i][j]*scale)) * mult
+			} else {
+				row[j] = bigQ * mult
+			}
+		}
+	}
+	maxC := bigQ * mult
+
+	ws.stats = SolveStats{Kind: SolverAuction, Rows: n, Cols: m}
+	colKey := func(j int) int64 {
+		if j < m {
+			return colKeys[j]
+		}
+		return padKey(j)
+	}
+	warmSeeded := 0
+	if warm != nil {
+		for j := 0; j < size; j++ {
+			ws.price[j] = 0
+		}
+		priceUnit := scale * float64(mult)
+		for j := 0; j < size; j++ {
+			if p, ok := warm.price[colKey(j)]; ok {
+				ws.price[j] = int64(math.Round(p * priceUnit))
+				warmSeeded++
+			}
+		}
+	}
+	ws.stats.WarmSeeded = warmSeeded
+
+	if warmSeeded > 0 {
+		// Warm fast path. Reseat each real row on its previous window's
+		// column wherever that seat still satisfies ε-complementary
+		// slackness at ε = 1 under the seeded prices (stale seats are
+		// simply dropped), then auction off only the leftover REAL rows
+		// at ε = 1 under a bid cap. Padding rows never bid here: every
+		// padding cell costs the same bigQ, so their placement is cost-
+		// irrelevant, and auctioning them replays a musical-chairs price
+		// war over the plateau columns that dwarfs the real work. The
+		// resulting real-row matching is accepted only when certify's
+		// LP-duality gap proves it exactly optimal; that keeps the fast
+		// path sound even though ε-CS alone does not guarantee
+		// asymmetric optimality from arbitrary seeded prices.
+		for j := 0; j < size; j++ {
+			ws.owner[j] = -1
+		}
+		for i := 0; i < size; i++ {
+			ws.assign[i] = -1
+		}
+		ws.stats.WarmKept = ws.seatAndFloor(warm, n, size, rowKeys, colKey)
+		bidCap := 24*size + 64
+		solved := false
+		if ws.auctionPhase(n, size, 1, bidCap, true) {
+			ws.stats.Phases++
+			solved = ws.certify(n, size, mult)
+		} else {
+			ws.stats.Phases++
+		}
+		if !solved {
+			// Ladder fallback: drop the fast phase's seats (they were
+			// validated against floored prices the phase has since moved)
+			// and reseat everything — padding rows included — with fresh
+			// ε-CS checks against the current prices, then escalate ε
+			// geometrically under the bid cap until a full square phase
+			// completes — kept pairs stay ε-CS at any larger ε — and
+			// descend the normal schedule from there, restoring the
+			// ε-scaling invariant and with it exactness. Only when even
+			// the top rung overruns the cap does the solve restart cold.
+			for j := 0; j < size; j++ {
+				ws.owner[j] = -1
+			}
+			for i := 0; i < size; i++ {
+				ws.assign[i] = -1
+			}
+			ws.seatFromMatch(warm, 0, size, size, rowKeys, colKey)
+			top := maxC / 4
+			if top < 1 {
+				top = 1
+			}
+			for eps := int64(1); ; {
+				ok := ws.auctionPhase(size, size, eps, bidCap, true)
+				ws.stats.Phases++
+				if ok {
+					for eps > 1 {
+						eps /= 7
+						if eps < 1 {
+							eps = 1
+						}
+						ws.auctionPhase(size, size, eps, 0, false)
+						ws.stats.Phases++
+					}
+					solved = true
+					break
+				}
+				if eps >= top {
+					break
+				}
+				eps *= 343
+				if eps > top {
+					eps = top
+				}
+			}
+		}
+		if !solved {
+			ws.stats.Restarted = true
+			ws.coldSchedule(size, maxC)
+		}
+	} else {
+		ws.coldSchedule(size, maxC)
+	}
+
+	out, total, err := ws.extract(cost, n, m)
+	// Absorb duals whenever a solve produced an assignment — including
+	// ErrInfeasible solves, which the dispatchers treat as usable (some
+	// teams simply stay unmatched); skipping those would leave the warm
+	// state empty exactly on the flood-heavy windows that recur.
+	if warm != nil && out != nil {
+		warm.absorb(ws, cost, rowKeys, colKeys, scale*float64(mult))
+	}
+	observeAuction(solveStart, size, ws.stats.Bids)
+	return out, total, err
+}
+
+// coldSchedule runs the ε-scaling schedule from maxC/4 down to 1,
+// resetting any warm prices first.
+func (ws *Workspace) coldSchedule(size int, maxC int64) {
+	for j := range ws.price {
+		ws.price[j] = 0
+	}
+	eps := maxC / 4
+	if eps < 1 {
+		eps = 1
+	}
+	for {
+		ws.auctionPhase(size, size, eps, 0, false)
+		ws.stats.Phases++
+		if eps == 1 {
+			return
+		}
+		eps /= 7
+		if eps < 1 {
+			eps = 1
+		}
+	}
+}
+
+// seatAndFloor prepares the warm fast path: it optimistically reseats
+// every real row on its previous window's column, floors every other
+// column's price to the global minimum, and then drops seats violating
+// ε-CS at ε = 1 until none remain (flooring a dropped seat's column can
+// invalidate other seats, so validation iterates to a fixpoint). The
+// flooring is what makes the fast path certifiable: stale prices on
+// columns the previous matching vacated would otherwise both hide
+// genuinely cheap columns from the bidding and leave free columns above
+// the price floor, voiding certify's gap ≤ n argument. Returns the
+// number of rows left seated.
+func (ws *Workspace) seatAndFloor(warm *WarmState, n, size int, rowKeys []int64, colKey func(int) int64) int {
+	if len(warm.match) > 0 {
+		if ws.colIndex == nil {
+			ws.colIndex = make(map[int64]int, size)
+		}
+		clear(ws.colIndex)
+		for j := 0; j < size; j++ {
+			ws.colIndex[colKey(j)] = j
+		}
+		for i := 0; i < n; i++ {
+			ck, ok := warm.match[rowKeys[i]]
+			if !ok {
+				continue
+			}
+			if j, ok := ws.colIndex[ck]; ok && ws.owner[j] < 0 {
+				ws.owner[j] = i
+				ws.assign[i] = j
+			}
+		}
+	}
+	// Flooring only matters when padding rows exist (n < size): a
+	// completed phase then leaves size-n columns free, and any free
+	// column above the price floor voids certify's gap ≤ n argument
+	// while hiding genuinely cheap columns from the bidding. With
+	// n == size a completed phase is a perfect matching — no free
+	// columns, certificate passes on ε-CS alone — and flooring would
+	// only force prices to climb back up bid by bid.
+	doFloor := n < size
+	floor := ws.price[0]
+	for j := 1; j < size; j++ {
+		if ws.price[j] < floor {
+			floor = ws.price[j]
+		}
+	}
+	kept := 0
+	for j := 0; j < size; j++ {
+		if ws.owner[j] < 0 {
+			if doFloor {
+				ws.price[j] = floor
+			}
+		} else {
+			kept++
+		}
+	}
+	for iter := 0; kept > 0; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			j := ws.assign[i]
+			if j < 0 {
+				continue
+			}
+			row := ws.c[i*size : (i+1)*size]
+			best := int64(negInfVal)
+			for k := 0; k < size; k++ {
+				if v := -row[k] - ws.price[k]; v > best {
+					best = v
+				}
+			}
+			if -row[j]-ws.price[j] >= best-1 {
+				continue
+			}
+			ws.assign[i] = -1
+			ws.owner[j] = -1
+			if doFloor {
+				ws.price[j] = floor
+			}
+			kept--
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		if iter >= 8 {
+			// Pathological cascade: unseat the rest (sound — they just
+			// bid normally) rather than loop towards O(n²·size).
+			for i := 0; i < n; i++ {
+				if j := ws.assign[i]; j >= 0 {
+					ws.assign[i] = -1
+					ws.owner[j] = -1
+					if doFloor {
+						ws.price[j] = floor
+					}
+				}
+			}
+			kept = 0
+			break
+		}
+	}
+	return kept
+}
+
+// seatFromMatch reseats rows [lo,hi) on their previous window's columns
+// (looked up through warm.match) wherever that seat satisfies ε-CS at
+// ε = 1 under the current prices, and returns how many rows it seated.
+// colKey maps a column index to its warm key.
+func (ws *Workspace) seatFromMatch(warm *WarmState, lo, hi, size int, rowKeys []int64, colKey func(int) int64) int {
+	if len(warm.match) == 0 {
+		return 0
+	}
+	if ws.colIndex == nil {
+		ws.colIndex = make(map[int64]int, size)
+	}
+	clear(ws.colIndex)
+	for j := 0; j < size; j++ {
+		ws.colIndex[colKey(j)] = j
+	}
+	kept := 0
+	for i := lo; i < hi; i++ {
+		rk := padKey(i)
+		if i < len(rowKeys) {
+			rk = rowKeys[i]
+		}
+		ck, ok := warm.match[rk]
+		if !ok {
+			continue
+		}
+		j, ok := ws.colIndex[ck]
+		if !ok || ws.owner[j] >= 0 {
+			continue
+		}
+		row := ws.c[i*size : (i+1)*size]
+		best := int64(negInfVal)
+		for k := 0; k < size; k++ {
+			if v := -row[k] - ws.price[k]; v > best {
+				best = v
+			}
+		}
+		if -row[j]-ws.price[j] >= best-1 {
+			ws.owner[j] = i
+			ws.assign[i] = j
+			kept++
+		}
+	}
+	return kept
+}
+
+// certify proves the current real-row matching exactly optimal via LP
+// duality, or returns false (proving nothing). For the asymmetric
+// problem min Σ c_ij x_ij with Σ_j x_ij = 1, Σ_i x_ij ≤ 1, any
+// feasible dual (π, μ ≥ 0) with π_i ≤ c_ij + μ_j bounds the optimum
+// below by Σπ − Σμ; since every matching's total is a multiple of
+// mult, a primal-dual gap < mult pins the matching to the optimum. The
+// dual is built from the auction prices shifted so the most expensive
+// free column lands at μ = 0 — in the warm steady state free columns
+// are the price floor, so the certificate passes whenever the fast
+// phase's seats really are optimal, and a perfect matching (n == size)
+// passes unconditionally because ε-CS at ε = 1 leaves a gap ≤ n < mult.
+func (ws *Workspace) certify(n, size int, mult int64) bool {
+	var delta int64
+	for j := 0; j < size; j++ {
+		if ws.price[j] > costLimit {
+			// Degenerate prices: sums below could overflow; decline.
+			return false
+		}
+		if ws.owner[j] < 0 && ws.price[j] > delta {
+			delta = ws.price[j]
+		}
+	}
+	var total, dual int64
+	for j := 0; j < size; j++ {
+		if mu := ws.price[j] - delta; mu > 0 {
+			dual -= mu
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := ws.assign[i]
+		if j < 0 {
+			return false
+		}
+		row := ws.c[i*size : (i+1)*size]
+		total += row[j]
+		best := int64(math.MaxInt64)
+		for k := 0; k < size; k++ {
+			mu := ws.price[k] - delta
+			if mu < 0 {
+				mu = 0
+			}
+			if v := row[k] + mu; v < best {
+				best = v
+			}
+		}
+		dual += best
+	}
+	return total-dual < mult
+}
+
+// auctionPhase runs one forward-auction phase at the given ε: each
+// unassigned row below rows bids best-second+ε on its best column,
+// displacing the previous owner (prices persist across phases). The
+// warm fast path passes rows = n so cost-indifferent padding rows stay
+// out of the bidding; full square phases pass rows = size. keep
+// preserves the current partial assignment — valid only when every
+// kept pair satisfies ε-CS at this ε, as seeded seats and pairs formed
+// at a smaller ε do; otherwise all rows start unassigned. bidCap > 0
+// aborts the phase (returning false) once that many bids have been
+// placed; 0 means unbounded. Dense finite costs guarantee termination
+// of an unbounded phase.
+func (ws *Workspace) auctionPhase(rows, size int, eps int64, bidCap int, keep bool) bool {
+	if !keep {
+		for j := 0; j < size; j++ {
+			ws.owner[j] = -1
+		}
+		for i := 0; i < size; i++ {
+			ws.assign[i] = -1
+		}
+	}
+	ws.stack = ws.stack[:0]
+	for i := rows - 1; i >= 0; i-- {
+		if ws.assign[i] < 0 {
+			ws.stack = append(ws.stack, i)
+		}
+	}
+	bids := 0
+	for len(ws.stack) > 0 {
+		i := ws.stack[len(ws.stack)-1]
+		ws.stack = ws.stack[:len(ws.stack)-1]
+		row := ws.c[i*size : (i+1)*size]
+		best, second := int64(negInfVal), int64(negInfVal)
+		bj := -1
+		for j := 0; j < size; j++ {
+			v := -row[j] - ws.price[j]
+			if v > best {
+				second = best
+				best = v
+				bj = j
+			} else if v > second {
+				second = v
+			}
+		}
+		bid := eps
+		if second != negInfVal {
+			bid = best - second + eps
+		}
+		ws.price[bj] += bid
+		if prev := ws.owner[bj]; prev >= 0 {
+			ws.assign[prev] = -1
+			ws.stack = append(ws.stack, prev)
+		}
+		ws.owner[bj] = i
+		ws.assign[i] = bj
+		bids++
+		if bidCap > 0 && bids > bidCap {
+			ws.stats.Bids += bids
+			return false
+		}
+	}
+	ws.stats.Bids += bids
+	return true
+}
+
+// extract maps the padded square assignment back to the original
+// rectangle, exactly like Hungarian: matches through padded or
+// Infeasible cells count as unassigned, and a matching smaller than the
+// smaller side is ErrInfeasible.
+func (ws *Workspace) extract(cost [][]float64, n, m int) ([]int, float64, error) {
+	out := ws.out[:n]
+	for i := range out {
+		out[i] = -1
+	}
+	total := 0.0
+	matched := 0
+	for i := 0; i < n; i++ {
+		j := ws.assign[i]
+		if j < 0 || j >= m || math.IsInf(cost[i][j], 1) {
+			continue
+		}
+		out[i] = j
+		total += cost[i][j]
+		matched++
+	}
+	need := n
+	if m < n {
+		need = m
+	}
+	if matched < need {
+		return out, total, fmt.Errorf("%w: only %d of %d assignable", ErrInfeasible, matched, need)
+	}
+	return out, total, nil
+}

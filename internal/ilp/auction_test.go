@@ -1,0 +1,626 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mobirescue/internal/obs"
+)
+
+// randCost builds a random rows x cols matrix. integer selects the
+// exact-equivalence grid; infProb sprinkles Infeasible cells.
+func randCost(rng *rand.Rand, rows, cols int, integer bool, infProb float64) [][]float64 {
+	cost := make([][]float64, rows)
+	for i := range cost {
+		cost[i] = make([]float64, cols)
+		for j := range cost[i] {
+			switch {
+			case rng.Float64() < infProb:
+				cost[i][j] = Infeasible
+			case integer:
+				cost[i][j] = math.Floor(rng.Float64()*2001) - 1000
+			default:
+				cost[i][j] = rng.Float64()*200 - 100
+			}
+		}
+	}
+	return cost
+}
+
+func assertMatching(t *testing.T, cost [][]float64, assign []int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for i, j := range assign {
+		if j < 0 {
+			continue
+		}
+		if seen[j] {
+			t.Fatalf("column %d assigned twice (assign %v)", j, assign)
+		}
+		seen[j] = true
+		if math.IsInf(cost[i][j], 1) {
+			t.Fatalf("infeasible cell (%d,%d) assigned", i, j)
+		}
+	}
+}
+
+func TestAuctionKnownCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		cost      [][]float64
+		wantTotal float64
+	}{
+		{"identity optimal", [][]float64{{1, 10}, {10, 1}}, 2},
+		{"crossed optimal", [][]float64{{10, 1}, {1, 10}}, 2},
+		{"classic 3x3", [][]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}, 5},
+		{"single cell", [][]float64{{7}}, 7},
+		{"negative costs", [][]float64{{-5, 2}, {3, -4}}, -9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			assign, total, err := Auction(tt.cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != tt.wantTotal {
+				t.Errorf("total = %v, want %v (assign %v)", total, tt.wantTotal, assign)
+			}
+			assertMatching(t, tt.cost, assign)
+		})
+	}
+}
+
+// TestAuctionMatchesHungarian is the exactness pin from the issue:
+// 2000+ randomized instances — rectangular both ways, Infeasible cells,
+// negative and non-integer costs — must agree with Hungarian exactly on
+// integer grids and within float tolerance otherwise.
+func TestAuctionMatchesHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trials := 2200
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		integer := trial%3 != 2
+		infProb := 0.0
+		if trial%4 == 1 {
+			infProb = 0.2
+		} else if trial%4 == 3 {
+			infProb = 0.5 // infeasible-heavy
+		}
+		cost := randCost(rng, rows, cols, integer, infProb)
+
+		hAssign, hTotal, hErr := Hungarian(cost)
+		aAssign, aTotal, aErr := Auction(cost)
+		if (hErr == nil) != (aErr == nil) {
+			t.Fatalf("trial %d: err mismatch hungarian=%v auction=%v\ncost=%v", trial, hErr, aErr, cost)
+		}
+		if hErr != nil {
+			if !errors.Is(aErr, ErrInfeasible) || !errors.Is(hErr, ErrInfeasible) {
+				t.Fatalf("trial %d: want ErrInfeasible, got hungarian=%v auction=%v", trial, hErr, aErr)
+			}
+			continue
+		}
+		assertMatching(t, cost, aAssign)
+		if integer {
+			if aTotal != hTotal {
+				t.Fatalf("trial %d: integer totals differ: auction %v != hungarian %v\ncost=%v\nh=%v a=%v",
+					trial, aTotal, hTotal, cost, hAssign, aAssign)
+			}
+		} else if math.Abs(aTotal-hTotal) > 1e-6*(1+math.Abs(hTotal)) {
+			t.Fatalf("trial %d: totals differ: auction %v != hungarian %v\ncost=%v", trial, aTotal, hTotal, cost)
+		}
+		// Both must assign the same number of rows.
+		count := func(a []int) (c int) {
+			for _, j := range a {
+				if j >= 0 {
+					c++
+				}
+			}
+			return
+		}
+		if count(aAssign) != count(hAssign) {
+			t.Fatalf("trial %d: match sizes differ: auction %v hungarian %v", trial, aAssign, hAssign)
+		}
+	}
+}
+
+func TestAuctionLargeValues(t *testing.T) {
+	// Costs near the quantization boundary still agree with Hungarian.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64() * 1e9)
+			}
+		}
+		_, hTotal, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, aTotal, err := Auction(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aTotal != hTotal {
+			t.Fatalf("trial %d: %v != %v", trial, aTotal, hTotal)
+		}
+	}
+}
+
+// TestHungarianEmptyColumns is the satellite regression test: the m == 0
+// early return used to hand back make([]int, n) — every row "assigned"
+// to column 0 — contradicting the documented -1 contract.
+func TestHungarianEmptyColumns(t *testing.T) {
+	assign, total, err := Hungarian([][]float64{{}, {}, {}})
+	if err == nil || !strings.Contains(err.Error(), "empty columns") {
+		t.Fatalf("err = %v, want empty-columns error", err)
+	}
+	if total != 0 || len(assign) != 3 {
+		t.Fatalf("assign = %v total = %v", assign, total)
+	}
+	for i, j := range assign {
+		if j != -1 {
+			t.Errorf("assign[%d] = %d, want -1", i, j)
+		}
+	}
+}
+
+func TestAuctionEmptyColumns(t *testing.T) {
+	assign, _, err := Auction([][]float64{{}, {}})
+	if err == nil || !strings.Contains(err.Error(), "empty columns") {
+		t.Fatalf("err = %v, want empty-columns error", err)
+	}
+	for i, j := range assign {
+		if j != -1 {
+			t.Errorf("assign[%d] = %d, want -1", i, j)
+		}
+	}
+}
+
+func TestAuctionInputValidation(t *testing.T) {
+	if _, _, err := Auction([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if assign, total, err := Auction(nil); err != nil || assign != nil || total != 0 {
+		t.Error("empty matrix should be a no-op")
+	}
+	if _, _, err := Auction([][]float64{{1, math.NaN()}}); err == nil {
+		t.Error("NaN cost should error")
+	}
+	if _, _, err := Auction([][]float64{{math.Inf(-1)}}); err == nil {
+		t.Error("-Inf cost should error")
+	}
+}
+
+func TestAuctionInfeasible(t *testing.T) {
+	bad := [][]float64{
+		{Infeasible, Infeasible},
+		{1, 2},
+	}
+	assign, _, err := Auction(bad)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if assign[0] != -1 {
+		t.Errorf("infeasible row assigned: %v", assign)
+	}
+}
+
+// TestAuctionIntoZeroAlloc pins the PR-3/PR-5 workspace contract:
+// steady-state same-shape solves allocate nothing.
+func TestAuctionIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cost := randCost(rng, 20, 30, true, 0.1)
+	var ws Workspace
+	if _, _, err := AuctionInto(&ws, cost); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := AuctionInto(&ws, cost); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AuctionInto allocates %v per steady-state solve, want 0", allocs)
+	}
+}
+
+// TestHungarianScratchAllocs pins the satellite hoist: the augmenting
+// path scratch (minv/used) must not be reallocated per row, so a solve
+// of a size-N instance stays O(N) allocations, not O(N^2)-ish 3N.
+func TestHungarianScratchAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 40
+	cost := randCost(rng, n, n, true, 0)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := Hungarian(cost); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Row storage for the padded matrix dominates: n+1 rows plus a
+	// handful of flat slices. Before the hoist this was ~3n+10.
+	if limit := float64(n + 20); allocs > limit {
+		t.Errorf("Hungarian allocates %v per solve, want <= %v", allocs, limit)
+	}
+}
+
+func TestWarmStartStaysExact(t *testing.T) {
+	// Successive windows with drifting costs: warm solves must stay
+	// exactly optimal (vs Hungarian) while reusing prices.
+	rng := rand.New(rand.NewSource(59))
+	rows, cols := 15, 25
+	rowKeys := make([]int64, rows)
+	for i := range rowKeys {
+		rowKeys[i] = int64(1000 + i)
+	}
+	colKeys := make([]int64, cols)
+	for j := range colKeys {
+		colKeys[j] = int64(5000 + j)
+	}
+	cost := randCost(rng, rows, cols, true, 0.05)
+	a := NewAssigner(SolverAuction)
+	warmed := 0
+	for window := 0; window < 12; window++ {
+		assign, total, err := a.Solve(cost, rowKeys, colKeys)
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		assertMatching(t, cost, assign)
+		_, hTotal, err := Hungarian(cost)
+		if err != nil {
+			t.Fatalf("window %d: hungarian: %v", window, err)
+		}
+		if total != hTotal {
+			t.Fatalf("window %d: warm auction %v != hungarian %v", window, total, hTotal)
+		}
+		if st := a.Last(); st.WarmSeeded > 0 {
+			warmed++
+		}
+		// Drift a few cells, the 30-min-window regime.
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(rows), rng.Intn(cols)
+			if !math.IsInf(cost[i][j], 1) {
+				cost[i][j] = math.Floor(math.Abs(cost[i][j] + float64(rng.Intn(21)-10)))
+			}
+		}
+	}
+	if warmed < 10 {
+		t.Errorf("warm seeding engaged in %d/12 windows, want >= 10", warmed)
+	}
+}
+
+func TestWarmStartFewerBids(t *testing.T) {
+	// A warm re-solve of a lightly drifted instance must place far fewer
+	// bids than the cold ε-scaling schedule.
+	rng := rand.New(rand.NewSource(61))
+	n := 60
+	cost := randCost(rng, n, n, true, 0)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	a := NewAssigner(SolverAuction)
+	if _, _, err := a.Solve(cost, keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	coldBids := a.Last().Bids
+	for k := 0; k < 5; k++ {
+		cost[rng.Intn(n)][rng.Intn(n)] += 1
+	}
+	if _, _, err := a.Solve(cost, keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Last()
+	if st.WarmSeeded != n {
+		t.Fatalf("WarmSeeded = %d, want %d", st.WarmSeeded, n)
+	}
+	if st.Restarted {
+		t.Fatal("warm solve restarted cold on a lightly drifted instance")
+	}
+	if st.Bids*2 >= coldBids {
+		t.Errorf("warm bids %d not clearly below cold bids %d", st.Bids, coldBids)
+	}
+}
+
+func TestWarmStateCodecRoundTrip(t *testing.T) {
+	w := NewWarmState()
+	w.price[7] = 1.25
+	w.price[-3] = -9.5
+	w.profit[42] = 3.75
+	w.match[42] = 7
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding (sorted keys).
+	blob2, _ := w.MarshalBinary()
+	if string(blob) != string(blob2) {
+		t.Fatal("MarshalBinary not deterministic")
+	}
+	var back WarmState
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.price[7] != 1.25 || back.price[-3] != -9.5 || back.profit[42] != 3.75 || back.match[42] != 7 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if err := back.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short blob should error")
+	}
+	if err := back.UnmarshalBinary(make([]byte, 12)); err == nil {
+		t.Error("bad magic should error")
+	}
+	var empty *WarmState
+	eb, err := empty.MarshalBinary()
+	if err != nil || len(eb) != 16 {
+		t.Fatalf("nil marshal = %v bytes, err %v", len(eb), err)
+	}
+}
+
+func TestParseSolver(t *testing.T) {
+	for _, name := range []string{"", "exact", "Exact", "hungarian"} {
+		k, err := ParseSolver(name)
+		if err != nil || k != SolverExact {
+			t.Errorf("ParseSolver(%q) = %v, %v", name, k, err)
+		}
+	}
+	if k, err := ParseSolver(" auction "); err != nil || k != SolverAuction {
+		t.Errorf("ParseSolver(auction) = %v, %v", k, err)
+	}
+	if _, err := ParseSolver("simplex"); err == nil {
+		t.Error("unknown solver should error")
+	}
+	if SolverExact.String() != "exact" || SolverAuction.String() != "auction" {
+		t.Error("SolverKind.String mismatch")
+	}
+	if !strings.Contains(SolverKind(9).String(), "9") {
+		t.Error("unknown kind String should include the value")
+	}
+}
+
+func TestAssignerNilAndExact(t *testing.T) {
+	cost := [][]float64{{4, 1}, {2, 8}}
+	var nilA *Assigner
+	if nilA.Kind() != SolverExact {
+		t.Error("nil Assigner should report exact")
+	}
+	assign, total, err := nilA.Solve(cost, nil, nil)
+	if err != nil || total != 3 || assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("nil assigner solve = %v %v %v", assign, total, err)
+	}
+	nilA.Reset()
+	if st := nilA.Last(); st.Bids != 0 {
+		t.Error("nil assigner stats should be zero")
+	}
+	blob, err := nilA.CaptureState()
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("nil capture: %v %v", blob, err)
+	}
+	if err := nilA.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	exact := NewAssigner(SolverExact)
+	if _, total, err := exact.Solve(cost, nil, nil); err != nil || total != 3 {
+		t.Fatalf("exact solve: %v %v", total, err)
+	}
+}
+
+func TestAssignerStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 10
+	cost := randCost(rng, n, n, true, 0)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+	}
+	a := NewAssigner(SolverAuction)
+	if _, _, err := a.Solve(cost, keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewAssigner(SolverAuction)
+	if err := b.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	// Restored assigner must make the same warm-seeded decisions.
+	aAssign, aTotal, err := a.Solve(cost, keys, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCopy := append([]int(nil), aAssign...)
+	bAssign, bTotal, err := b.Solve(cost, keys, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aTotal != bTotal {
+		t.Fatalf("totals diverge after restore: %v vs %v", aTotal, bTotal)
+	}
+	for i := range aCopy {
+		if aCopy[i] != bAssign[i] {
+			t.Fatalf("assignments diverge after restore: %v vs %v", aCopy, bAssign)
+		}
+	}
+	if a.Last().WarmSeeded != b.Last().WarmSeeded {
+		t.Fatalf("warm seeding diverges: %d vs %d", a.Last().WarmSeeded, b.Last().WarmSeeded)
+	}
+}
+
+func TestAssignerMismatchedKeysSolvesCold(t *testing.T) {
+	a := NewAssigner(SolverAuction)
+	cost := [][]float64{{1, 2}, {3, 1}}
+	// Key shape mismatch must not error; it just skips warm starting.
+	assign, total, err := a.Solve(cost, []int64{1}, nil)
+	if err != nil || total != 2 {
+		t.Fatalf("mismatched-keys solve = %v %v %v", assign, total, err)
+	}
+	if a.Last().WarmSeeded != 0 {
+		t.Error("mismatched keys must not warm-seed")
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	cost := randCost(rng, 100, 100, true, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Hungarian(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuctionCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	cost := randCost(rng, 100, 100, true, 0)
+	var ws Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AuctionInto(&ws, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuctionWarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	n := 100
+	cost := randCost(rng, n, n, true, 0)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	a := NewAssigner(SolverAuction)
+	if _, _, err := a.Solve(cost, keys, keys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.Solve(cost, keys, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWarmLadderFallback forces the warm fast path to fail: a window of
+// identical rows (every cell the same cost) after a generic window
+// degenerates the ε = 1 phase into a musical-chairs price war over the
+// stale price spread, overrunning the bid cap, so the solve must
+// reseat via the ε ladder — and still return an exactly optimal total.
+func TestWarmLadderFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 30
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	a := NewAssigner(SolverAuction)
+	if _, _, err := a.Solve(randCost(rng, n, n, true, 0), keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	flat := make([][]float64, n)
+	for i := range flat {
+		flat[i] = make([]float64, n)
+		for j := range flat[i] {
+			flat[i][j] = 5
+		}
+	}
+	assign, total, err := a.Solve(flat, keys, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatching(t, flat, assign)
+	if total != float64(5*n) {
+		t.Fatalf("flat-window total = %v, want %v", total, 5*n)
+	}
+	st := a.Last()
+	if st.WarmSeeded != n {
+		t.Fatalf("WarmSeeded = %d, want %d", st.WarmSeeded, n)
+	}
+	if st.Phases < 2 {
+		t.Fatalf("flat window solved in %d phase(s); expected the fast phase to overrun into the ladder", st.Phases)
+	}
+	// And the state must still be usable for the next window.
+	next := randCost(rng, n, n, true, 0.1)
+	_, aTotal, err := a.Solve(next, keys, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hTotal, err := Hungarian(next); err != nil || aTotal != hTotal {
+		t.Fatalf("post-fallback window: auction %v hungarian %v err %v", aTotal, hTotal, err)
+	}
+}
+
+// TestWorkspaceStats covers the Workspace accessor used by external
+// benchmark drivers.
+func TestWorkspaceStats(t *testing.T) {
+	var ws Workspace
+	if _, _, err := AuctionInto(&ws, [][]float64{{3, 1}, {2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	st := ws.Stats()
+	if st.Kind != SolverAuction || st.Rows != 2 || st.Cols != 2 || st.Bids == 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+// TestWarmStateLenReset covers Len/Reset including their nil-receiver
+// contracts.
+func TestWarmStateLenReset(t *testing.T) {
+	var nilState *WarmState
+	nilState.Reset()
+	if nilState.Len() != 0 {
+		t.Error("nil WarmState should have Len 0")
+	}
+	a := NewAssigner(SolverAuction)
+	keys := []int64{1, 2}
+	if _, _, err := a.Solve([][]float64{{3, 1}, {2, 4}}, keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if a.warm.Len() != 2 {
+		t.Fatalf("warm Len = %d, want 2", a.warm.Len())
+	}
+	a.Reset()
+	if a.warm.Len() != 0 {
+		t.Fatal("Reset left warm prices behind")
+	}
+	if _, _, err := a.Solve([][]float64{{3, 1}, {2, 4}}, keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if a.Last().WarmSeeded != 0 {
+		t.Error("post-Reset solve should run cold")
+	}
+}
+
+// TestAuctionMetrics covers the telemetry observers for both solvers.
+func TestAuctionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+	cost := [][]float64{{3, 1}, {2, 4}}
+	if _, _, err := Auction(cost); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Hungarian(cost); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap[MetricAuctionSolves] == nil || snap[MetricHungarianSolves] == nil {
+		t.Fatalf("missing solver metrics in snapshot: %v", snap)
+	}
+}

@@ -38,7 +38,11 @@ func Hungarian(cost [][]float64) (assign []int, total float64, err error) {
 		}
 	}
 	if m == 0 {
-		return make([]int, n), 0, fmt.Errorf("ilp: empty columns")
+		assign = make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+		return assign, 0, fmt.Errorf("ilp: empty columns")
 	}
 	// Pad to a square matrix with a large-but-finite cost so the classic
 	// O(n^3) algorithm applies; padded cells mean "unassigned".
@@ -78,13 +82,14 @@ func Hungarian(cost [][]float64) (assign []int, total float64, err error) {
 	v := make([]float64, size+1)
 	p := make([]int, size+1) // p[j] = row matched to column j
 	way := make([]int, size+1)
+	minv := make([]float64, size+1)
+	used := make([]bool, size+1)
 	for i := 1; i <= size; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, size+1)
-		used := make([]bool, size+1)
 		for j := range minv {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -191,9 +196,21 @@ func (p *Problem) Validate() error {
 
 // Solution is the result of Solve01.
 type Solution struct {
-	X         []bool
-	Objective float64
-	Nodes     int // branch-and-bound nodes explored
+	X          []bool
+	Objective  float64
+	Nodes      int     // branch-and-bound nodes explored
+	LowerBound float64 // certified root lower bound on the optimum
+}
+
+// Gap returns the certified optimality gap Objective - LowerBound. It
+// is zero (up to float noise) for an exact solve and quantifies how far
+// a budget-capped incumbent can be from optimal.
+func (s Solution) Gap() float64 {
+	g := s.Objective - s.LowerBound
+	if g < 0 {
+		return 0
+	}
+	return g
 }
 
 // Solve01 exactly solves the 0/1 program by depth-first branch and bound.
@@ -202,8 +219,31 @@ type Solution struct {
 // slack. maxNodes caps the search (0 means a million nodes); exceeding it
 // returns the best incumbent found with an error.
 func Solve01(p Problem, maxNodes int) (Solution, error) {
+	return Solve01Bounded(p, maxNodes, nil)
+}
+
+// Solve01Bounded is Solve01 with an optional Lagrangian bounding hook:
+// lambda (typically LagrangianBound(p).Lambda, one multiplier per
+// constraint, all >= 0) adds a second pruning rule at every node — for
+// any feasible completion x,
+//
+//	c.x >= obj + lambda.(A.x_fixed) - lambda.b + sum_{free j, rc_j<0} rc_j
+//
+// with rc_j = c_j + lambda.A_j the Lagrangian reduced costs (weak
+// duality plus lambda.(A.x - b) <= 0). The hook never changes the
+// result, only how many nodes the search visits; nil lambda is plain
+// Solve01.
+func Solve01Bounded(p Problem, maxNodes int, lambda []float64) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
+	}
+	if lambda != nil && len(lambda) != len(p.B) {
+		return Solution{}, fmt.Errorf("ilp: %d multipliers vs %d constraints", len(lambda), len(p.B))
+	}
+	for i, l := range lambda {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return Solution{}, fmt.Errorf("ilp: multiplier %d is %v, want finite >= 0", i, l)
+		}
 	}
 	if maxNodes <= 0 {
 		maxNodes = 1_000_000
@@ -232,10 +272,37 @@ func Solve01(p Problem, maxNodes int) (Solution, error) {
 		}
 		minCost[j] = minCost[j+1] + add
 	}
+	// Lagrangian pruning scratch: lamA[j] = lambda.A_j, negRC[j] = the
+	// sum of negative reduced costs from j on, lamB = lambda.b. lamUse
+	// tracks lambda.(A.x_fixed) incrementally alongside usage.
+	var lamA, negRC []float64
+	var lamB float64
+	if lambda != nil {
+		lamA = make([]float64, n)
+		for i, l := range lambda {
+			lamB += l * p.B[i]
+			for j, a := range p.A[i] {
+				lamA[j] += l * a
+			}
+		}
+		negRC = make([]float64, n+1)
+		for j := n - 1; j >= 0; j-- {
+			add := 0.0
+			if rc := p.C[j] + lamA[j]; rc < 0 {
+				add = rc
+			}
+			negRC[j] = negRC[j+1] + add
+		}
+	}
+	rootBound := minCost[0]
+	if lambda != nil && negRC[0]-lamB > rootBound {
+		rootBound = negRC[0] - lamB
+	}
 
 	best := Solution{Objective: math.Inf(1)}
 	x := make([]bool, n)
 	usage := make([]float64, len(p.A))
+	lamUse := 0.0
 	nodes := 0
 	var capped bool
 
@@ -251,6 +318,9 @@ func Solve01(p Problem, maxNodes int) (Solution, error) {
 		}
 		// Bound: even the best completion cannot beat the incumbent.
 		if obj+minCost[j] >= best.Objective {
+			return
+		}
+		if lambda != nil && obj+lamUse-lamB+negRC[j] >= best.Objective {
 			return
 		}
 		// Optimistic feasibility: with the most helpful remaining
@@ -282,9 +352,15 @@ func Solve01(p Problem, maxNodes int) (Solution, error) {
 				for i := range p.A {
 					usage[i] += p.A[i][j]
 				}
+				if lambda != nil {
+					lamUse += lamA[j]
+				}
 				dfs(j+1, obj+p.C[j])
 				for i := range p.A {
 					usage[i] -= p.A[i][j]
+				}
+				if lambda != nil {
+					lamUse -= lamA[j]
 				}
 			} else {
 				dfs(j+1, obj)
@@ -295,12 +371,18 @@ func Solve01(p Problem, maxNodes int) (Solution, error) {
 	solveStart := time.Now()
 	dfs(0, 0)
 	best.Nodes = nodes
+	best.LowerBound = rootBound
 	observeSolve01(solveStart, nodes)
 	if math.IsInf(best.Objective, 1) {
 		if capped {
 			return best, fmt.Errorf("ilp: node budget %d exhausted with no incumbent", maxNodes)
 		}
 		return best, ErrInfeasible
+	}
+	if !capped {
+		// An uncapped search proves the incumbent optimal: the certified
+		// gap is zero regardless of how loose the root bound was.
+		best.LowerBound = best.Objective
 	}
 	if capped {
 		return best, fmt.Errorf("ilp: node budget %d exhausted; solution may be suboptimal", maxNodes)

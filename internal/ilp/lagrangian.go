@@ -1,0 +1,108 @@
+package ilp
+
+import (
+	"math"
+)
+
+// This file implements the Lagrangian relaxation of the Solve01 0/1
+// program: dualizing every constraint A.x <= b with multipliers
+// lambda >= 0 gives
+//
+//	L(lambda) = -lambda.b + sum_j min(0, c_j + lambda.A_j)
+//
+// because with the constraints priced into the objective each variable
+// decouples — it is taken exactly when its reduced cost
+// rc_j = c_j + lambda.A_j is negative. Weak duality makes every
+// L(lambda) a certified lower bound on the optimum; LagrangianBound
+// climbs it with projected subgradient ascent and Solve01Bounded uses
+// the best multipliers to prune branch and bound.
+
+// BoundResult is a certified Lagrangian lower bound.
+type BoundResult struct {
+	Bound  float64   // best L(lambda) found: optimum >= Bound for any feasible x
+	Lambda []float64 // multipliers achieving Bound (one per constraint, >= 0)
+	Iters  int       // subgradient iterations performed
+}
+
+// LagrangianBound computes a lower bound on p's optimal objective by
+// subgradient ascent on the Lagrangian dual. maxIters caps the ascent
+// (0 means 200 iterations); the ascent stops early when the relaxed
+// solution is feasible and complementary (the bound is then tight).
+// The result is a valid bound at every iteration count — tuning only
+// affects tightness, never correctness.
+func LagrangianBound(p Problem, maxIters int) (BoundResult, error) {
+	if err := p.Validate(); err != nil {
+		return BoundResult{}, err
+	}
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	rows, n := len(p.A), len(p.C)
+	lam := make([]float64, rows)
+	g := make([]float64, rows) // subgradient A.x(lambda) - b
+	res := BoundResult{Bound: math.Inf(-1), Lambda: make([]float64, rows)}
+
+	// evalL computes L(lam) and the subgradient at the relaxed
+	// minimizer x(lam)_j = [rc_j < 0].
+	evalL := func() float64 {
+		L := 0.0
+		for i, l := range lam {
+			L -= l * p.B[i]
+			g[i] = -p.B[i]
+		}
+		for j := 0; j < n; j++ {
+			rc := p.C[j]
+			for i, l := range lam {
+				if l != 0 {
+					rc += l * p.A[i][j]
+				}
+			}
+			if rc < 0 {
+				L += rc
+				for i := range g {
+					g[i] += p.A[i][j]
+				}
+			}
+		}
+		return L
+	}
+
+	// Step scale: the objective's magnitude, so the first steps can move
+	// multipliers across the interesting range; decays harmonically.
+	t0 := 1.0
+	for _, c := range p.C {
+		if math.Abs(c) > t0 {
+			t0 = math.Abs(c)
+		}
+	}
+
+	for k := 0; k < maxIters; k++ {
+		L := evalL()
+		res.Iters = k + 1
+		if L > res.Bound {
+			res.Bound = L
+			copy(res.Lambda, lam)
+		}
+		gnorm := 0.0
+		ascendable := false
+		for i, gi := range g {
+			gnorm += gi * gi
+			if gi > 0 || (gi < 0 && lam[i] > 0) {
+				ascendable = true
+			}
+		}
+		if gnorm == 0 || !ascendable {
+			// x(lambda) is feasible and no projected ascent direction
+			// remains: L cannot improve from here.
+			break
+		}
+		step := t0 / (float64(k+1) * math.Sqrt(gnorm))
+		for i := range lam {
+			lam[i] += step * g[i]
+			if lam[i] < 0 {
+				lam[i] = 0
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randProblem builds a random 0/1 program small enough for exact
+// Solve01 cross-checking.
+func randProblem(rng *rand.Rand) Problem {
+	n := 3 + rng.Intn(10)
+	rows := 1 + rng.Intn(4)
+	p := Problem{C: make([]float64, n)}
+	for j := range p.C {
+		p.C[j] = math.Floor(rng.Float64()*41) - 25 // mostly negative: interesting knapsacks
+	}
+	for i := 0; i < rows; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = math.Floor(rng.Float64() * 6)
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, math.Floor(rng.Float64()*float64(2*n)))
+	}
+	return p
+}
+
+// TestLagrangianBoundNeverExceedsOptimum is the issue's property suite:
+// on randomized programs the dual bound must never exceed the true
+// optimum (weak duality), at any iteration budget.
+func TestLagrangianBoundNeverExceedsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	trials := 400
+	if testing.Short() {
+		trials = 80
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randProblem(rng)
+		sol, err := Solve01(p, 0)
+		if err != nil {
+			continue // infeasible instances have no optimum to bound
+		}
+		for _, iters := range []int{1, 5, 0} {
+			br, err := LagrangianBound(p, iters)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if br.Bound > sol.Objective+1e-6 {
+				t.Fatalf("trial %d iters %d: bound %v exceeds optimum %v\nproblem %+v",
+					trial, iters, br.Bound, sol.Objective, p)
+			}
+			for i, l := range br.Lambda {
+				if l < 0 {
+					t.Fatalf("trial %d: negative multiplier %d: %v", trial, i, l)
+				}
+			}
+		}
+	}
+}
+
+// TestLagrangianTightensNaiveBound: the ascent must improve on L(0) —
+// the sum-of-negative-costs bound Solve01 already uses — on a binding
+// knapsack.
+func TestLagrangianTightensNaiveBound(t *testing.T) {
+	p := Problem{
+		C: []float64{-6, -10, -12},
+		A: [][]float64{{1, 2, 3}},
+		B: []float64{5},
+	}
+	naive := -28.0 // take everything
+	br, err := LagrangianBound(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Bound <= naive {
+		t.Errorf("bound %v no better than naive %v", br.Bound, naive)
+	}
+	if br.Bound > -22+1e-9 {
+		t.Errorf("bound %v exceeds optimum -22", br.Bound)
+	}
+}
+
+// TestSolve01BoundedSameResult: the bounding hook never changes the
+// answer, only the node count.
+func TestSolve01BoundedSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	prunedSomewhere := false
+	for trial := 0; trial < 150; trial++ {
+		p := randProblem(rng)
+		plain, errPlain := Solve01(p, 0)
+		br, err := LagrangianBound(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, errBounded := Solve01Bounded(p, 0, br.Lambda)
+		if (errPlain == nil) != (errBounded == nil) {
+			t.Fatalf("trial %d: err mismatch %v vs %v", trial, errPlain, errBounded)
+		}
+		if errPlain != nil {
+			continue
+		}
+		if math.Abs(plain.Objective-bounded.Objective) > 1e-9 {
+			t.Fatalf("trial %d: objective %v != bounded %v", trial, plain.Objective, bounded.Objective)
+		}
+		if bounded.Nodes > plain.Nodes {
+			t.Fatalf("trial %d: bounding grew the search: %d > %d nodes", trial, bounded.Nodes, plain.Nodes)
+		}
+		if bounded.Nodes < plain.Nodes {
+			prunedSomewhere = true
+		}
+		if bounded.Gap() > 1e-9 {
+			t.Fatalf("trial %d: exact solve reports gap %v", trial, bounded.Gap())
+		}
+	}
+	if !prunedSomewhere {
+		t.Error("Lagrangian hook never pruned a node across 150 trials")
+	}
+}
+
+func TestSolve01BoundedCappedGap(t *testing.T) {
+	// A capped search keeps the certified root bound so Gap() quantifies
+	// incumbent quality.
+	n := 18
+	p := Problem{C: make([]float64, n)}
+	for i := range p.C {
+		p.C[i] = -1 - float64(i%4)
+	}
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = 1 + float64(i%2)
+	}
+	p.A = [][]float64{row}
+	p.B = []float64{float64(n / 3)}
+	br, err := LagrangianBound(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve01Bounded(p, 25, br.Lambda)
+	if err == nil {
+		t.Fatal("tiny budget should report exhaustion")
+	}
+	if math.IsInf(sol.Objective, 1) {
+		t.Skip("no incumbent under tiny budget")
+	}
+	if sol.LowerBound > sol.Objective+1e-9 {
+		t.Fatalf("lower bound %v above incumbent %v", sol.LowerBound, sol.Objective)
+	}
+	if math.IsInf(sol.LowerBound, -1) {
+		t.Fatal("capped solve lost its root bound")
+	}
+}
+
+func TestSolve01BoundedValidation(t *testing.T) {
+	p := Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}}
+	if _, err := Solve01Bounded(p, 0, []float64{1, 2}); err == nil {
+		t.Error("mis-sized lambda should error")
+	}
+	if _, err := Solve01Bounded(p, 0, []float64{-1}); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := Solve01Bounded(p, 0, []float64{math.NaN()}); err == nil {
+		t.Error("NaN lambda should error")
+	}
+}
+
+func TestLagrangianBoundValidation(t *testing.T) {
+	if _, err := LagrangianBound(Problem{}, 0); err == nil {
+		t.Error("empty objective should error")
+	}
+	// Unconstrained: bound equals the exact optimum (sum of negatives).
+	br, err := LagrangianBound(Problem{C: []float64{-3, 2, -1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Bound != -4 {
+		t.Errorf("unconstrained bound = %v, want -4", br.Bound)
+	}
+}

@@ -15,6 +15,10 @@ const (
 	MetricSolve01Solves    = "mobirescue_ilp_solve01_solves_total"
 	MetricSolve01Nodes     = "mobirescue_ilp_solve01_nodes_total"
 	MetricSolve01Seconds   = "mobirescue_ilp_solve01_seconds"
+	MetricAuctionSolves    = "mobirescue_ilp_auction_solves_total"
+	MetricAuctionSeconds   = "mobirescue_ilp_auction_seconds"
+	MetricAuctionSize      = "mobirescue_ilp_auction_matrix_size"
+	MetricAuctionBids      = "mobirescue_ilp_auction_bids_total"
 )
 
 // ilpMetrics bundles the solver telemetry handles.
@@ -25,6 +29,10 @@ type ilpMetrics struct {
 	bbSolves    *obs.Counter
 	bbNodes     *obs.Counter
 	bbSeconds   *obs.Histogram
+	aucSolves   *obs.Counter
+	aucSeconds  *obs.Histogram
+	aucSize     *obs.Histogram
+	aucBids     *obs.Counter
 }
 
 // metricsPtr holds the active telemetry set. Hungarian and Solve01 are
@@ -49,6 +57,10 @@ func EnableMetrics(reg *obs.Registry) {
 		bbSolves:    reg.Counter(MetricSolve01Solves, "0/1 branch-and-bound solves."),
 		bbNodes:     reg.Counter(MetricSolve01Nodes, "Branch-and-bound nodes explored."),
 		bbSeconds:   reg.Histogram(MetricSolve01Seconds, "Wall-clock 0/1 solve time.", obs.DefSecondsBuckets),
+		aucSolves:   reg.Counter(MetricAuctionSolves, "Auction assignment solves."),
+		aucSeconds:  reg.Histogram(MetricAuctionSeconds, "Wall-clock auction solve time.", obs.DefSecondsBuckets),
+		aucSize:     reg.Histogram(MetricAuctionSize, "Auction matrix dimension max(rows, cols).", sizeBuckets),
+		aucBids:     reg.Counter(MetricAuctionBids, "Auction bidding iterations."),
 	})
 }
 
@@ -61,6 +73,18 @@ func observeHungarian(start time.Time, size int) {
 	m.hungSolves.Inc()
 	m.hungSeconds.ObserveSince(start)
 	m.hungSize.Observe(float64(size))
+}
+
+// observeAuction records one auction solve (no-op when disabled).
+func observeAuction(start time.Time, size, bids int) {
+	m := metricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.aucSolves.Inc()
+	m.aucSeconds.ObserveSince(start)
+	m.aucSize.Observe(float64(size))
+	m.aucBids.Add(int64(bids))
 }
 
 // observeSolve01 records one branch-and-bound solve (no-op when

@@ -1,0 +1,132 @@
+package ilp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SolverKind selects the assignment solver implementation.
+type SolverKind uint8
+
+const (
+	// SolverExact is the Jonker-Volgenant-style Hungarian solver — the
+	// reference implementation, and the default everywhere.
+	SolverExact SolverKind = iota
+	// SolverAuction is the Bertsekas ε-scaling auction solver with
+	// cross-window warm starts — exactly optimal on integer-valued
+	// costs, and orders of magnitude cheaper on large instances.
+	SolverAuction
+)
+
+// SolverNames documents the -assign-solver flag values.
+const SolverNames = "exact|auction"
+
+// String implements fmt.Stringer.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverExact:
+		return "exact"
+	case SolverAuction:
+		return "auction"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", uint8(k))
+	}
+}
+
+// ParseSolver maps a flag value to a SolverKind. The empty string is
+// the exact solver, keeping zero-valued configs on the reference path.
+func ParseSolver(name string) (SolverKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "exact", "hungarian":
+		return SolverExact, nil
+	case "auction":
+		return SolverAuction, nil
+	default:
+		return SolverExact, fmt.Errorf("ilp: unknown assignment solver %q (want %s)", name, SolverNames)
+	}
+}
+
+// Assigner is a reusable assignment solver handle: it owns the scratch
+// Workspace and, for the auction kind, the WarmState that successive
+// windows share. A nil *Assigner is valid and solves with Hungarian —
+// dispatchers hold a nil Assigner until a non-default solver is
+// configured, so the reference path stays byte-identical.
+//
+// An Assigner is not safe for concurrent use; each dispatcher owns its
+// own.
+type Assigner struct {
+	kind SolverKind
+	ws   Workspace
+	warm *WarmState
+}
+
+// NewAssigner builds a solver handle of the given kind.
+func NewAssigner(kind SolverKind) *Assigner {
+	a := &Assigner{kind: kind}
+	if kind == SolverAuction {
+		a.warm = NewWarmState()
+	}
+	return a
+}
+
+// Kind returns the configured solver (SolverExact for a nil Assigner).
+func (a *Assigner) Kind() SolverKind {
+	if a == nil {
+		return SolverExact
+	}
+	return a.kind
+}
+
+// Solve solves one assignment instance. rowKeys and colKeys name the
+// rows (teams) and columns (segments) for cross-window warm starting;
+// the exact solver ignores them, and the auction solver accepts nil
+// keys by solving cold. The returned slice is owned by the Assigner on
+// the auction path and overwritten by the next Solve.
+func (a *Assigner) Solve(cost [][]float64, rowKeys, colKeys []int64) ([]int, float64, error) {
+	if a == nil || a.kind == SolverExact {
+		return Hungarian(cost)
+	}
+	warm := a.warm
+	if len(rowKeys) != len(cost) || (len(cost) > 0 && len(colKeys) != len(cost[0])) {
+		warm, rowKeys, colKeys = nil, nil, nil
+	}
+	return auctionSolve(&a.ws, cost, warm, rowKeys, colKeys)
+}
+
+// Last returns statistics for the most recent auction solve (zero for
+// the exact kind).
+func (a *Assigner) Last() SolveStats {
+	if a == nil {
+		return SolveStats{}
+	}
+	return a.ws.stats
+}
+
+// Reset drops the warm-start state; the next solve runs cold.
+func (a *Assigner) Reset() {
+	if a == nil {
+		return
+	}
+	a.warm.Reset()
+}
+
+// CaptureState snapshots the warm-start duals (empty for the exact
+// kind) so crash-safe runs restore the same tie-breaking trajectory.
+func (a *Assigner) CaptureState() ([]byte, error) {
+	if a == nil || a.warm == nil {
+		return (*WarmState)(nil).MarshalBinary()
+	}
+	return a.warm.MarshalBinary()
+}
+
+// RestoreState restores a CaptureState snapshot. Restoring an empty
+// snapshot onto an auction Assigner clears its warm state.
+func (a *Assigner) RestoreState(blob []byte) error {
+	if a == nil {
+		return nil
+	}
+	if a.warm == nil {
+		a.warm = NewWarmState()
+	}
+	return a.warm.UnmarshalBinary(blob)
+}

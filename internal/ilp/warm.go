@@ -1,0 +1,222 @@
+package ilp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WarmState carries auction dual variables across dispatch windows:
+// column prices keyed by segment ID, row profits keyed by team ID
+// (both in original cost units, travel seconds, so they survive the
+// per-solve integer rescaling), and the previous window's full square
+// matching keyed the same way. Successive 30-minute windows see slowly
+// drifting cost matrices, so the previous window's equilibrium prices
+// plus its seats (each re-validated against ε-complementary slackness
+// before reuse, so stale seats are simply dropped) start the next
+// solve a handful of bids from optimal instead of a full ε-scaling
+// schedule — warm starting never changes optimality (the auction's
+// exactness argument is independent of initial prices and of any
+// initial partial assignment satisfying ε-CS), only how fast it
+// converges.
+//
+// Padding rows/columns of the square instance are tracked under
+// synthetic negative keys (see padKey); caller-supplied keys are
+// therefore expected to be non-negative.
+//
+// A WarmState is not safe for concurrent use; each dispatcher owns its
+// own (see Assigner).
+type WarmState struct {
+	price  map[int64]float64 // column key (segment) -> price
+	profit map[int64]float64 // row key (team) -> profit, the dual potential
+	match  map[int64]int64   // row key -> column key of the last square matching
+}
+
+// padKey is the synthetic key for padding row/column index i of the
+// square instance. Negative by construction so it can never collide
+// with caller keys (team and segment IDs are non-negative).
+func padKey(i int) int64 { return -int64(i) - 1 }
+
+// NewWarmState returns an empty warm-start state.
+func NewWarmState() *WarmState {
+	return &WarmState{
+		price:  make(map[int64]float64),
+		profit: make(map[int64]float64),
+		match:  make(map[int64]int64),
+	}
+}
+
+// Len returns how many column prices are stored.
+func (w *WarmState) Len() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.price)
+}
+
+// Reset drops all stored duals (the next solve runs cold).
+func (w *WarmState) Reset() {
+	if w == nil {
+		return
+	}
+	clear(w.price)
+	clear(w.profit)
+	clear(w.match)
+}
+
+// absorb stores the workspace's final prices, profits and square
+// matching back into the state, in cost units (scaled prices divided
+// by priceUnit). Padding rows and columns are stored under padKey so
+// the next window can reseat them too — identical padding rows are
+// exactly the ones whose cold re-auction degenerates into a long
+// musical-chairs price war.
+func (w *WarmState) absorb(ws *Workspace, cost [][]float64, rowKeys, colKeys []int64, priceUnit float64) {
+	size := len(ws.price)
+	colKey := func(j int) int64 {
+		if j < len(colKeys) {
+			return colKeys[j]
+		}
+		return padKey(j)
+	}
+	for j := 0; j < size; j++ {
+		w.price[colKey(j)] = float64(ws.price[j]) / priceUnit
+	}
+	for i := 0; i < size; i++ {
+		rk := padKey(i)
+		if i < len(rowKeys) {
+			rk = rowKeys[i]
+		}
+		if j := ws.assign[i]; j >= 0 {
+			w.match[rk] = colKey(j)
+		} else {
+			delete(w.match, rk)
+		}
+	}
+	for i, key := range rowKeys {
+		j := ws.assign[i]
+		if j < 0 || j >= len(colKeys) || math.IsInf(cost[i][j], 1) {
+			delete(w.profit, key)
+			continue
+		}
+		// π_i = -c_ij - p_j at the matched column: the row's profit under
+		// the final prices.
+		w.profit[key] = -cost[i][j] - float64(ws.price[j])/priceUnit
+	}
+}
+
+// warmWireMagic versions the WarmState snapshot encoding.
+const warmWireMagic = uint32(0x4d525753) // "MRWS"
+
+// MarshalBinary encodes the state deterministically (sorted keys), so
+// snapshot streams containing warm duals stay byte-identical across
+// runs.
+func (w *WarmState) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeMap := func(m map[int64]float64) {
+		keys := make([]int64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		writeU32(uint32(len(keys)))
+		for _, k := range keys {
+			binary.Write(&buf, binary.LittleEndian, k)
+			binary.Write(&buf, binary.LittleEndian, m[k])
+		}
+	}
+	writeMatch := func(m map[int64]int64) {
+		keys := make([]int64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		writeU32(uint32(len(keys)))
+		for _, k := range keys {
+			binary.Write(&buf, binary.LittleEndian, k)
+			binary.Write(&buf, binary.LittleEndian, m[k])
+		}
+	}
+	writeU32(warmWireMagic)
+	if w == nil {
+		writeU32(0)
+		writeU32(0)
+		writeU32(0)
+		return buf.Bytes(), nil
+	}
+	writeMap(w.price)
+	writeMap(w.profit)
+	writeMatch(w.match)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a MarshalBinary snapshot.
+func (w *WarmState) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("ilp: warm state: %w", err)
+	}
+	if magic != warmWireMagic {
+		return fmt.Errorf("ilp: warm state: bad magic %#x", magic)
+	}
+	readMap := func() (map[int64]float64, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if int(n) > r.Len()/16+1 {
+			return nil, fmt.Errorf("ilp: warm state: implausible length %d", n)
+		}
+		m := make(map[int64]float64, n)
+		for i := uint32(0); i < n; i++ {
+			var k int64
+			var v float64
+			if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			m[k] = v
+		}
+		return m, nil
+	}
+	price, err := readMap()
+	if err != nil {
+		return fmt.Errorf("ilp: warm state prices: %w", err)
+	}
+	profit, err := readMap()
+	if err != nil {
+		return fmt.Errorf("ilp: warm state profits: %w", err)
+	}
+	readMatch := func() (map[int64]int64, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if int(n) > r.Len()/16+1 {
+			return nil, fmt.Errorf("ilp: warm state: implausible length %d", n)
+		}
+		m := make(map[int64]int64, n)
+		for i := uint32(0); i < n; i++ {
+			var k, v int64
+			if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			m[k] = v
+		}
+		return m, nil
+	}
+	match, err := readMatch()
+	if err != nil {
+		return fmt.Errorf("ilp: warm state matches: %w", err)
+	}
+	w.price, w.profit, w.match = price, profit, match
+	return nil
+}
